@@ -1,0 +1,55 @@
+"""Ablation: open vs closed page policy.
+
+Paper claim (Section IV): "In all the evaluations, DRAM open page
+policy is used" -- justified implicitly by the workload: "relatively
+large data amounts resulting in several memory accesses to sequential
+memory locations" means almost every access hits an open row.  This
+bench quantifies the choice: closed-page pays tRP + tRCD on every
+burst and collapses streaming throughput.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.sweep import simulate_use_case
+from repro.analysis.tables import format_table
+from repro.controller.pagepolicy import PagePolicy
+from repro.core.config import SystemConfig
+from repro.usecase.levels import level_by_name
+
+
+def run_ablation():
+    level = level_by_name("3.1")
+    rows = [["Channels", "Open [ms]", "Closed [ms]", "Open row-hit"]]
+    data = []
+    for m in (1, 4):
+        base = SystemConfig(channels=m, freq_mhz=400.0)
+        open_pt = simulate_use_case(level, base, chunk_budget=BENCH_BUDGET)
+        closed_pt = simulate_use_case(
+            level,
+            dataclasses.replace(base, page_policy=PagePolicy.CLOSED),
+            chunk_budget=BENCH_BUDGET,
+        )
+        data.append((open_pt, closed_pt))
+        rows.append(
+            [
+                str(m),
+                f"{open_pt.access_time_ms:.2f}",
+                f"{closed_pt.access_time_ms:.2f}",
+                f"{open_pt.result.row_hit_rate * 100:.1f} %",
+            ]
+        )
+    return rows, data
+
+
+def test_open_vs_closed_page(benchmark):
+    rows, data = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    show("Ablation: open vs closed page policy (720p30)", format_table(rows))
+
+    for open_pt, closed_pt in data:
+        # Sequential video traffic: open page hits >98 % of the time
+        # and closed page is several times slower.
+        assert open_pt.result.row_hit_rate > 0.98
+        assert closed_pt.access_time_ms > 2.0 * open_pt.access_time_ms

@@ -1,0 +1,69 @@
+"""Ablation: power-down policy.
+
+Paper claims: "For maximum energy savings, it is assumed that bank
+clusters go to power down states after the first idle clock cycle"
+(Section III) and "the increase in power consumption is moderate when
+comparing multi-channel to single-channel configuration" *because* of
+that policy (Section IV); "aggressive use of power-down modes is
+necessary for energy efficient operation" (Section V).
+
+This bench compares immediate / timeout / never power-down on the
+8-channel 720p30 point -- the configuration with the most idle time,
+where the policy matters most -- and asserts the paper's ordering.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.sweep import simulate_use_case
+from repro.analysis.tables import format_table
+from repro.core.config import SystemConfig
+from repro.dram.powerstate import ImmediatePowerDown, NoPowerDown, TimeoutPowerDown
+from repro.usecase.levels import level_by_name
+
+POLICIES = (
+    ImmediatePowerDown(),
+    TimeoutPowerDown(timeout_cycles=64),
+    NoPowerDown(),
+)
+
+
+def run_ablation():
+    level = level_by_name("3.1")
+    rows = [["Policy", "1ch [mW]", "8ch [mW]", "8ch/1ch"]]
+    results = {}
+    for policy in POLICIES:
+        powers = {}
+        for m in (1, 8):
+            config = dataclasses.replace(
+                SystemConfig(channels=m, freq_mhz=400.0), power_down=policy
+            )
+            point = simulate_use_case(level, config, chunk_budget=BENCH_BUDGET)
+            powers[m] = point.total_power_mw
+        results[policy.name] = powers
+        rows.append(
+            [
+                policy.name,
+                f"{powers[1]:.0f}",
+                f"{powers[8]:.0f}",
+                f"{powers[8] / powers[1]:.2f}",
+            ]
+        )
+    return rows, results
+
+
+def test_powerdown_policies(benchmark):
+    rows, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    show("Ablation: power-down policy (720p30 @ 400 MHz)", format_table(rows))
+
+    immediate = results["immediate"]
+    never = results["never"]
+    # The paper's energy argument: with aggressive power-down, eight
+    # channels cost only moderately more than one...
+    assert immediate[8] / immediate[1] < 1.6
+    # ...without it, idle channels burn standby power and the
+    # multi-channel advantage erodes.
+    assert never[8] > 1.5 * immediate[8]
+    assert never[8] / never[1] > immediate[8] / immediate[1]

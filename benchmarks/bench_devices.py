@@ -1,0 +1,84 @@
+"""Device comparison: why the paper needs a *next-generation* mobile DDR.
+
+Three devices on the 720p30 recording load:
+
+- the **2008 Mobile DDR** baseline (reference [12]): capped at
+  200 MHz and 1.8 V — more channels are the only way up;
+- the paper's **next-generation mobile DDR** projection: DDR2 clocks
+  at 1.35 V;
+- a **standard DDR2**-class part (reference [14]'s comparison): same
+  clocks, non-mobile current profile.
+
+Asserted shape: the contemporary part needs at least twice the
+channels of the next-gen part for the same format; the standard part
+matches the next-gen part's speed but burns several times the power
+on a mostly-idle multi-channel configuration.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.sweep import simulate_use_case
+from repro.analysis.tables import format_table
+from repro.core.config import SystemConfig
+from repro.dram.datasheet import (
+    CONTEMPORARY_MOBILE_DDR,
+    NEXT_GEN_MOBILE_DDR,
+    STANDARD_DDR2,
+)
+from repro.usecase.levels import level_by_name
+
+DEVICES = (
+    ("mobile DDR 2008 @200", CONTEMPORARY_MOBILE_DDR, 200.0),
+    ("next-gen mobile @400", NEXT_GEN_MOBILE_DDR, 400.0),
+    ("standard DDR2 @400", STANDARD_DDR2, 400.0),
+)
+
+
+def run_comparison():
+    level = level_by_name("3.1")
+    rows = [["Device", "Channels", "Access [ms]", "Power [mW]", "Verdict"]]
+    points = {}
+    for name, device, freq in DEVICES:
+        for channels in (1, 2, 4, 8):
+            config = SystemConfig(channels=channels, freq_mhz=freq, device=device)
+            point = simulate_use_case(level, config, chunk_budget=BENCH_BUDGET)
+            points[(name, channels)] = point
+            rows.append(
+                [
+                    name,
+                    str(channels),
+                    f"{point.access_time_ms:.1f}",
+                    f"{point.total_power_mw:.0f}",
+                    str(point.verdict),
+                ]
+            )
+    return rows, points
+
+
+def test_device_comparison(benchmark):
+    rows, points = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    show("Device comparison (720p30)", format_table(rows))
+
+    # The 2008 part at 200 MHz needs more channels than the
+    # next-generation part at 400 MHz for the same format.
+    def min_channels(name):
+        for m in (1, 2, 4, 8):
+            if points[(name, m)].verdict.feasible:
+                return m
+        return None
+
+    contemporary = min_channels("mobile DDR 2008 @200")
+    next_gen = min_channels("next-gen mobile @400")
+    assert next_gen == 1
+    assert contemporary >= 2 * next_gen
+
+    # The standard DDR2 part keeps up in speed...
+    std = points[("standard DDR2 @400", 8)]
+    ngen = points[("next-gen mobile @400", 8)]
+    assert std.access_time_ms == pytest.approx(ngen.access_time_ms, rel=0.02)
+    # ...but pays several times the power on an 8-channel memory
+    # (reference [14]'s low-power-vs-standard argument).
+    assert std.total_power_mw > 2.0 * ngen.total_power_mw

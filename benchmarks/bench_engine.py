@@ -1,0 +1,54 @@
+"""Microbenchmarks: simulator throughput.
+
+Not a paper artifact -- these track the cost of the simulator itself
+(bursts simulated per second in the channel engine, end-to-end frame
+simulation) so performance regressions in the hot loop are caught.
+"""
+
+import pytest
+
+from benchmarks.conftest import show
+from repro.controller.engine import ChannelEngine
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.dram.datasheet import NEXT_GEN_MOBILE_DDR
+from repro.load.model import VideoRecordingLoadModel
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+CHUNKS = 100_000
+
+
+def test_engine_sequential_throughput(benchmark):
+    """Raw engine speed on a sequential read stream."""
+    engine = ChannelEngine(NEXT_GEN_MOBILE_DDR, 400.0)
+    result = benchmark(engine.run, [(0, 0, CHUNKS)])
+    assert result.total_chunks == CHUNKS
+
+
+def test_engine_mixed_throughput(benchmark):
+    """Engine speed on alternating read/write blocks."""
+    engine = ChannelEngine(NEXT_GEN_MOBILE_DDR, 400.0)
+    runs = []
+    for i in range(CHUNKS // 512):
+        runs.append((0, i * 512, 256))
+        runs.append((1, 2**20 + i * 512, 256))
+    result = benchmark(engine.run, runs)
+    assert result.total_chunks == (CHUNKS // 512) * 512
+
+
+def test_frame_generation_throughput(benchmark):
+    """Load-model transaction generation for 1/8 of a 720p frame."""
+    load = VideoRecordingLoadModel(VideoRecordingUseCase(level_by_name("3.1")))
+    txns = benchmark(load.generate_frame, 0.125)
+    assert len(txns) > 1000
+
+
+def test_end_to_end_frame_simulation(benchmark):
+    """Full pipeline: generate + split + simulate 1/8 frame on 4ch."""
+    load = VideoRecordingLoadModel(VideoRecordingUseCase(level_by_name("3.1")))
+    system = MultiChannelMemorySystem(SystemConfig(channels=4, freq_mhz=400.0))
+    txns = load.generate_frame(scale=0.125)
+
+    result = benchmark(system.run, txns, 0.125)
+    assert result.access_time_ms > 0

@@ -1,0 +1,80 @@
+"""Extension: future formats beyond the paper's evaluation.
+
+Section V: *"In future systems, where the memory loads exceed the
+HDTV requirement, novel policies, advanced control mechanisms, and
+reorganization of traditional memory management are needed to keep
+the power consumption manageable."*
+
+This bench extrapolates the evaluated system to 2160p@60 (~32 GB/s)
+and 8K@30 (~64 GB/s) and shows *why* the paper says that:
+
+- the evaluated 8-channel organisation is insufficient even at
+  533 MHz;
+- wider organisations (16-64 channels) become feasible but their
+  per-channel efficiency collapses -- the fixed 16-byte interleaving
+  granularity slices each master transaction ever thinner, so
+  read/write turnarounds and interconnect exposure dominate;
+- power crosses into watts, which is exactly the regime where the
+  paper prescribes independent channel clusters and smarter
+  management rather than more brute-force interleaving.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.realtime import RealTimeVerdict
+from repro.analysis.sweep import simulate_use_case
+from repro.analysis.tables import format_table
+from repro.core.config import SystemConfig
+from repro.usecase.levels import level_by_name
+
+POINTS = (
+    ("5.2@60", 8, 533.0),
+    ("5.2@60", 16, 533.0),
+    ("5.2@60", 32, 400.0),
+    ("8K", 32, 533.0),
+    ("8K", 64, 400.0),
+)
+
+
+def run_extension():
+    rows = [["Format", "Ch", "MHz", "Access [ms]", "Power [mW]", "Eff", "Verdict"]]
+    points = {}
+    for name, channels, freq in POINTS:
+        point = simulate_use_case(
+            level_by_name(name),
+            SystemConfig(channels=channels, freq_mhz=freq),
+            chunk_budget=BENCH_BUDGET,
+        )
+        points[(name, channels, freq)] = point
+        rows.append(
+            [
+                name,
+                str(channels),
+                f"{freq:g}",
+                f"{point.access_time_ms:.1f}",
+                f"{point.total_power_mw:.0f}",
+                f"{point.result.bus_efficiency * 100:.0f} %",
+                str(point.verdict),
+            ]
+        )
+    return rows, points
+
+
+def test_future_formats(benchmark):
+    rows, points = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    show("Extension: beyond-HDTV formats (Section V)", format_table(rows))
+
+    # The paper's evaluated maximum (8 channels) cannot do 2160p60
+    # even at the top DDR2 clock.
+    assert points[("5.2@60", 8, 533.0)].verdict is RealTimeVerdict.FAIL
+    # Wider organisations get there...
+    assert points[("5.2@60", 32, 400.0)].verdict is RealTimeVerdict.PASS
+    assert points[("8K", 64, 400.0)].verdict.feasible
+    # ...but per-channel efficiency collapses as the interleaving
+    # slices transactions thinner (the Section V motivation).
+    eff_8 = points[("5.2@60", 8, 533.0)].result.bus_efficiency
+    eff_32 = points[("5.2@60", 32, 400.0)].result.bus_efficiency
+    assert eff_32 < eff_8
+    # ...and power leaves the handheld envelope entirely.
+    assert points[("8K", 64, 400.0)].total_power_mw > 3000.0

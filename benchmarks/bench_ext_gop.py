@@ -1,0 +1,60 @@
+"""Extension: GOP-structured (I/P-frame) workload analysis.
+
+The paper sizes for the steady-state inter-coded frame.  A real H.264
+stream is a group of pictures: every GOP starts with an intra-coded
+frame whose encoder reads no references, so its memory load is far
+lighter.  This bench quantifies the per-frame profile at the paper's
+design points and confirms the methodology:
+
+- the **P frame is the worst frame**, so sizing for it (as the paper
+  does) covers the whole stream;
+- the I frame returns > 30 % headroom — the slack a system could
+  spend on concurrent work or deeper power-down;
+- GOP-average power sits a few percent under the per-P-frame Fig. 5
+  bar.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.steadystate import analyze_gop
+from repro.analysis.tables import format_table
+from repro.core.config import SystemConfig
+from repro.usecase.levels import level_by_name
+
+POINTS = (("3.1", 1), ("4", 4), ("4.2", 8))
+
+
+def run_extension():
+    rows = [["Config", "I [ms]", "P [ms]", "Headroom",
+             "GOP power [mW]", "Worst verdict"]]
+    analyses = []
+    for level_name, channels in POINTS:
+        gop = analyze_gop(
+            level_by_name(level_name),
+            SystemConfig(channels=channels, freq_mhz=400.0),
+            chunk_budget=BENCH_BUDGET,
+        )
+        analyses.append(gop)
+        rows.append(
+            [
+                f"{level_name} on {channels}ch",
+                f"{gop.i_frame_ms:.1f}",
+                f"{gop.p_frame_ms:.1f}",
+                f"{gop.i_frame_headroom * 100:.0f} %",
+                f"{gop.sustained_power_mw:.0f}",
+                str(gop.worst_frame_verdict),
+            ]
+        )
+    return rows, analyses
+
+
+def test_gop_profile(benchmark):
+    rows, analyses = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    show("Extension: GOP (I/P) per-frame profile (400 MHz)", format_table(rows))
+
+    for gop in analyses:
+        assert gop.worst_frame_ms == gop.p_frame_ms
+        assert gop.i_frame_headroom > 0.3
+        assert gop.sustained_power_mw < gop.p_frame_power_mw
+        assert gop.worst_frame_verdict.feasible

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 3 (access time vs memory clock).
+
+Paper artifact: Fig. 3, "effect of memory clock frequency on memory
+access time.  One frame encoded" -- the 720p30 frame simulated over
+1/2/4/8 channels at 200-533 MHz against the 33 ms real-time line.
+
+Expected shape (all asserted): single channel fails at 200/266 MHz,
+is marginal at 333 MHz and passes from 400 MHz; two channels satisfy
+every frequency; each doubling of clock or channels buys close to 2x.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.experiments import run_fig3
+from repro.analysis.realtime import RealTimeVerdict
+
+
+def test_fig3(benchmark):
+    fig3 = benchmark.pedantic(
+        run_fig3, kwargs={"chunk_budget": BENCH_BUDGET}, rounds=1, iterations=1
+    )
+    show("Fig. 3: access time vs clock frequency (720p30, one frame)", fig3.format())
+
+    assert fig3.verdicts[200.0][1] is RealTimeVerdict.FAIL
+    assert fig3.verdicts[266.0][1] is RealTimeVerdict.FAIL
+    assert fig3.verdicts[333.0][1] is RealTimeVerdict.MARGINAL
+    assert fig3.verdicts[400.0][1] is RealTimeVerdict.PASS
+    for f in fig3.frequencies_mhz:
+        for m in (2, 4, 8):
+            assert fig3.verdicts[f][m] is RealTimeVerdict.PASS
+    # "close to 2x speedup" per doubling.
+    for a, b in ((1, 2), (2, 4), (4, 8)):
+        ratio = fig3.access_ms[400.0][a] / fig3.access_ms[400.0][b]
+        assert 1.7 <= ratio <= 2.1

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Fig. 4 (access time vs frame format, 400 MHz).
+
+Paper artifact: Fig. 4, "effect of encoding format on memory access
+time (clock frequency is 400 MHz)" with the 30 fps and 60 fps
+real-time lines.
+
+Expected shape (all asserted): level 3.1 is achievable with every
+channel count; 3.2 needs >= 2 channels; 1080p30 needs 4 to be safe
+(2 is marginal); 1080p60 needs all 8; 2160p30 is on the edge even
+with 8.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.experiments import run_fig4
+from repro.analysis.realtime import RealTimeVerdict
+
+FAIL = RealTimeVerdict.FAIL
+MARGINAL = RealTimeVerdict.MARGINAL
+PASS = RealTimeVerdict.PASS
+
+
+def test_fig4(benchmark):
+    fig4 = benchmark.pedantic(
+        run_fig4, kwargs={"chunk_budget": BENCH_BUDGET}, rounds=1, iterations=1
+    )
+    show("Fig. 4: access time vs frame format (400 MHz)", fig4.format())
+
+    for m in (1, 2, 4, 8):
+        assert fig4.verdict("3.1", m).feasible
+    assert fig4.verdict("3.2", 1) is FAIL
+    assert fig4.verdict("3.2", 2) is PASS
+    assert fig4.verdict("4", 2) is MARGINAL
+    assert fig4.verdict("4", 4) is PASS
+    assert fig4.verdict("4.2", 4) in (MARGINAL, FAIL)
+    assert fig4.verdict("4.2", 8) is PASS
+    for m in (1, 2, 4):
+        assert fig4.verdict("5.2", m) is FAIL
+    assert fig4.verdict("5.2", 8).feasible

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 5 (power vs frame format, 400 MHz).
+
+Paper artifact: Fig. 5, "effect of encoding format on memory power
+consumption (clock frequency is 400 MHz)", interface power (equation
+(1)) stacked on the DRAM bars, zero-height bars for configurations
+that miss real time.
+
+Expected values (all asserted, 10 % tolerance): 720p30 costs ~150 mW
+on one channel and ~205 mW on eight; 1080p30 on four channels
+~345 mW; 2160p30 on eight channels ~1280 mW.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.experiments import run_fig5
+
+
+def test_fig5(benchmark):
+    fig5 = benchmark.pedantic(
+        run_fig5, kwargs={"chunk_budget": BENCH_BUDGET}, rounds=1, iterations=1
+    )
+    show("Fig. 5: power vs frame format (400 MHz)", fig5.format())
+
+    assert fig5.point("3.1", 1).total_power_mw == pytest.approx(150, rel=0.10)
+    assert fig5.point("3.1", 8).total_power_mw == pytest.approx(205, rel=0.10)
+    assert fig5.point("4", 4).total_power_mw == pytest.approx(345, rel=0.10)
+    assert fig5.point("5.2", 8).total_power_mw == pytest.approx(1280, rel=0.10)
+    # Zero bars for infeasible configurations.
+    assert fig5.point("4.2", 1).reported_power_mw == 0.0
+    assert fig5.point("5.2", 4).reported_power_mw == 0.0
+    # Moderate multi-channel increase (the paper's headline claim).
+    ratio = fig5.point("3.1", 8).total_power_mw / fig5.point("3.1", 1).total_power_mw
+    assert ratio < 1.6

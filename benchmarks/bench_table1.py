@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table I (per-stage bandwidth requirements).
+
+Paper artifact: Table I, "memory bandwidth requirement for the stages
+of the video recording use case" -- five H.264/AVC levels, per-stage
+megabits per frame, and the MB/s totals the prose quotes (1.9 GB/s
+for 720p30, 4.3 GB/s for 1080p30, 8.6 GB/s for 1080p60).
+"""
+
+import pytest
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import format_table1, run_table1
+
+
+def test_table1(benchmark):
+    table = benchmark(run_table1)
+    show("Table I: memory bandwidth requirements", format_table1(table))
+
+    # The paper's prose anchors, at full fidelity.
+    assert table.column_for("3.1").bandwidth_gb_per_s == pytest.approx(1.9, abs=0.06)
+    assert table.column_for("4").bandwidth_gb_per_s == pytest.approx(4.3, rel=0.05)
+    assert table.column_for("4.2").bandwidth_gb_per_s == pytest.approx(8.6, rel=0.06)
+    ratio = (
+        table.column_for("4").frame_total_bits
+        / table.column_for("3.1").frame_total_bits
+    )
+    assert ratio == pytest.approx(2.2, abs=0.05)

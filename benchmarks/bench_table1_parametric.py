@@ -1,0 +1,73 @@
+"""Parametric Table I: the use-case knobs the paper leaves implicit.
+
+Fig. 1 parameterises the chain (digital zoom *z*, the 20 %
+stabilization border, the encoder constant of six) but Table I only
+reports one setting.  This bench sweeps those knobs and checks the
+structural claims:
+
+- digital zoom shrinks *downstream image-processing* traffic
+  (``~N/(z x z)`` after post-processing) but cannot touch the encoder,
+  which still works on full frames;
+- the encoder constant scales the coding side nearly linearly and
+  dominates the total — so the "implementation dependent" factor is
+  *the* knob a real implementation would fight for;
+- removing the stabilization border trims every sensor-side stage by
+  1.44x.
+"""
+
+import pytest
+
+from benchmarks.conftest import show
+from repro.analysis.tables import format_table
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+def run_parametric():
+    level = level_by_name("4")
+    variants = {
+        "baseline (z=1, border, f=6)": {},
+        "digizoom z=1.4": {"digizoom": 1.4},
+        "digizoom z=2": {"digizoom": 2.0},
+        "no stabilization border": {"stabilization_border": 1.0},
+        "encoder factor 4": {"encoder_factor": 4.0},
+        "encoder factor 8": {"encoder_factor": 8.0},
+    }
+    rows = [["Variant", "Image [Mb]", "Coding [Mb]", "Total [GB/s]"]]
+    cases = {}
+    for name, kwargs in variants.items():
+        uc = VideoRecordingUseCase(level, **kwargs)
+        cases[name] = uc
+        rows.append(
+            [
+                name,
+                f"{uc.image_processing_bits_per_frame() / 1e6:.1f}",
+                f"{uc.video_coding_bits_per_frame() / 1e6:.1f}",
+                f"{uc.bandwidth_bytes_per_s() / 1e9:.2f}",
+            ]
+        )
+    return rows, cases
+
+
+def test_table1_parametric(benchmark):
+    rows, cases = benchmark.pedantic(run_parametric, rounds=1, iterations=1)
+    show("Table I parametric sweep (1080p30)", format_table(rows))
+
+    base = cases["baseline (z=1, border, f=6)"]
+    zoom = cases["digizoom z=2"]
+    # Zoom shrinks image processing but leaves coding untouched.
+    assert zoom.image_processing_bits_per_frame() < (
+        base.image_processing_bits_per_frame()
+    )
+    assert zoom.video_coding_bits_per_frame() == pytest.approx(
+        base.video_coding_bits_per_frame()
+    )
+    # The encoder constant dominates the total.
+    f4 = cases["encoder factor 4"]
+    f8 = cases["encoder factor 8"]
+    assert f8.total_bits_per_frame() > 1.25 * f4.total_bits_per_frame()
+    # Dropping the border trims the sensor-side stages.
+    no_border = cases["no stabilization border"]
+    assert no_border.image_processing_bits_per_frame() < (
+        0.85 * base.image_processing_bits_per_frame()
+    )

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate the Section IV/V XDR comparison.
+
+Paper artifact: the Cell BE comparison -- "the proposed theoretical
+next generation mobile DDR SDRAM with eight channels and 400 MHz
+clock frequency has similar bandwidth (25.0 GB/s) but power
+consumption from 4 % to 25 % of the XDR value, depending on the used
+encoding format."
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BUDGET, show
+from repro.analysis.experiments import run_xdr_comparison
+
+
+def test_xdr_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_xdr_comparison,
+        kwargs={"chunk_budget": BENCH_BUDGET},
+        rounds=1,
+        iterations=1,
+    )
+    show("XDR comparison (8 channels @ 400 MHz vs Cell BE)", result.format())
+
+    # Similar bandwidth...
+    assert result.peak_bandwidth_bytes_per_s == pytest.approx(
+        result.reference.bandwidth_bytes_per_s, rel=0.05
+    )
+    # ...at 4-25 % of the power.
+    lo, hi = result.power_ratio_range
+    assert lo == pytest.approx(0.04, abs=0.01)
+    assert hi == pytest.approx(0.25, abs=0.035)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact has a benchmark that (a) regenerates the
+table/figure at a fidelity close to the paper's own runs and (b)
+times the regeneration with pytest-benchmark.  Run with ``-s`` to see
+the regenerated artifacts::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Simulated-burst budget for the experiment benchmarks: high enough
+#: that results match the full-frame numbers to well under a percent,
+#: low enough that the whole harness runs in tens of seconds.
+BENCH_BUDGET = 200_000
+
+
+def show(title: str, body: str) -> None:
+    """Print a regenerated artifact (visible with ``pytest -s``)."""
+    print()
+    print(f"==== {title} ====")
+    print(body)
+
+
+@pytest.fixture
+def budget():
+    """The benchmark simulation budget."""
+    return BENCH_BUDGET

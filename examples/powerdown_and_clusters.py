@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Energy management: power-down policies and channel clusters.
+
+Reproduces the paper's two energy arguments interactively:
+
+1. **Aggressive power-down makes multi-channel cheap** (Sections
+   III-V): compares immediate / timeout / never power-down on a
+   mostly-idle 8-channel memory.
+2. **Channel clusters** (Section V future work): running a light
+   concurrent workload on its own small cluster isolates it from the
+   recording stream while spare clusters power down entirely.
+
+Run::
+
+    python examples/powerdown_and_clusters.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    ChannelCluster,
+    ClusteredMemorySystem,
+    ImmediatePowerDown,
+    NoPowerDown,
+    SystemConfig,
+    TimeoutPowerDown,
+    level_by_name,
+    simulate_use_case,
+)
+from repro.analysis.tables import format_table
+from repro.load.generators import sequential_stream
+from repro.load.model import VideoRecordingLoadModel
+from repro.load.scaling import choose_scale
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+def powerdown_comparison() -> None:
+    level = level_by_name("3.1")
+    rows = [["Power-down policy", "1 ch [mW]", "8 ch [mW]"]]
+    for policy in (ImmediatePowerDown(), TimeoutPowerDown(64), NoPowerDown()):
+        cells = [policy.name]
+        for channels in (1, 8):
+            config = replace(
+                SystemConfig(channels=channels, freq_mhz=400.0),
+                power_down=policy,
+            )
+            point = simulate_use_case(level, config)
+            cells.append(f"{point.total_power_mw:.0f}")
+        rows.append(cells)
+    print("720p30 recording power vs power-down policy\n")
+    print(format_table(rows))
+    print("\nwithout power-down, the 8-channel memory loses its energy "
+          "advantage:\nidle channels burn standby current all frame long.\n")
+
+
+def cluster_demo() -> None:
+    level = level_by_name("3.1")
+    use_case = VideoRecordingUseCase(level)
+    load = VideoRecordingLoadModel(use_case)
+    scale = choose_scale(use_case.total_bytes_per_frame())
+    video = load.generate_frame(scale=scale)
+    ui = sequential_stream(int(8 * 2**20 * scale), block_bytes=4096)
+
+    clusters = ClusteredMemorySystem(
+        [
+            ChannelCluster("video", SystemConfig(channels=4, freq_mhz=400.0)),
+            ChannelCluster("ui", SystemConfig(channels=2, freq_mhz=400.0)),
+            ChannelCluster("spare", SystemConfig(channels=2, freq_mhz=400.0)),
+        ]
+    )
+    results = clusters.run({"video": video, "ui": ui}, scale=scale)
+    print(f"clustered memory: {clusters.describe()}")
+    print(f"  video cluster: {results['video'].access_time_ms:.2f} ms "
+          f"(budget {level.frame_period_ms:.1f} ms)")
+    print(f"  ui cluster   : {results['ui'].access_time_ms:.2f} ms, "
+          "fully isolated from the recording stream")
+    print("  spare cluster: powered down for the whole frame")
+
+
+def main() -> None:
+    powerdown_comparison()
+    cluster_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Reproduce the whole paper in one run, with paper-vs-measured checks.
+
+Walks every artifact of "A case for multi-channel memories in video
+recording" (DATE 2009) in order, prints the regenerated tables, and
+verifies the prose's numeric anchors against the simulation — the
+script version of EXPERIMENTS.md.
+
+Run::
+
+    python examples/reproduce_paper.py            # full fidelity, ~1 min
+    python examples/reproduce_paper.py --fast     # reduced budget, seconds
+"""
+
+import sys
+
+from repro.analysis.experiments import (
+    format_table1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_xdr_comparison,
+)
+from repro.analysis.realtime import RealTimeVerdict
+
+
+def check(name: str, condition: bool, detail: str = "") -> bool:
+    status = "ok " if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f" ({detail})" if detail else ""))
+    return condition
+
+
+def main(fast: bool = False) -> int:
+    budget = 60_000 if fast else 400_000
+    results = []
+
+    print("== Table I: bandwidth requirements ==")
+    table = run_table1()
+    print(format_table1(table))
+    gbps = {n: table.column_for(n).bandwidth_gb_per_s for n in ("3.1", "4", "4.2")}
+    results.append(check("720p30 ~ 1.9 GB/s", abs(gbps["3.1"] - 1.9) < 0.06,
+                         f"{gbps['3.1']:.2f}"))
+    results.append(check("1080p30 ~ 4.3 GB/s", abs(gbps["4"] - 4.3) / 4.3 < 0.05,
+                         f"{gbps['4']:.2f}"))
+    results.append(check("1080p60 ~ 8.6 GB/s", abs(gbps["4.2"] - 8.6) / 8.6 < 0.06,
+                         f"{gbps['4.2']:.2f}"))
+
+    print("\n== Table II: channel interleaving ==")
+    print(run_table2(8).format())
+
+    print("\n== Fig. 3: access time vs clock (720p30) ==")
+    fig3 = run_fig3(chunk_budget=budget)
+    print(fig3.format())
+    v = fig3.verdicts
+    results.append(check("1ch fails at 200/266 MHz",
+                         v[200.0][1] is RealTimeVerdict.FAIL
+                         and v[266.0][1] is RealTimeVerdict.FAIL))
+    results.append(check("1ch marginal at 333 MHz",
+                         v[333.0][1] is RealTimeVerdict.MARGINAL))
+    results.append(check("2ch meets every clock",
+                         all(v[f][2] is RealTimeVerdict.PASS
+                             for f in fig3.frequencies_mhz)))
+
+    print("\n== Fig. 4 / Fig. 5: format sweep at 400 MHz ==")
+    fig5 = run_fig5(chunk_budget=budget)
+    print(fig5.fig4.format())
+    print()
+    print(fig5.format())
+    f4 = fig5.fig4
+    results.append(check("720p60 needs 2 channels",
+                         not f4.verdict("3.2", 1).feasible
+                         and f4.verdict("3.2", 2) is RealTimeVerdict.PASS))
+    results.append(check("1080p30 safe on 4 channels",
+                         f4.verdict("4", 4) is RealTimeVerdict.PASS))
+    results.append(check("1080p60 needs 8 channels",
+                         f4.verdict("4.2", 4) is not RealTimeVerdict.PASS
+                         and f4.verdict("4.2", 8) is RealTimeVerdict.PASS))
+    results.append(check("2160p30 on the edge with 8",
+                         f4.verdict("5.2", 8).feasible
+                         and not f4.verdict("5.2", 4).feasible))
+    for name, channels, target in (("3.1", 1, 150.0), ("3.1", 8, 205.0),
+                                   ("4", 4, 345.0), ("5.2", 8, 1280.0)):
+        measured = fig5.point(name, channels).total_power_mw
+        results.append(check(
+            f"{name}@{channels}ch ~ {target:.0f} mW",
+            abs(measured - target) / target < 0.10,
+            f"{measured:.0f} mW",
+        ))
+
+    print("\n== XDR comparison ==")
+    xdr = run_xdr_comparison(fig5=fig5)
+    print(xdr.format())
+    lo, hi = xdr.power_ratio_range
+    results.append(check("power 4-25 % of XDR",
+                         abs(lo - 0.04) < 0.01 and abs(hi - 0.25) < 0.035,
+                         f"{lo * 100:.0f}-{hi * 100:.0f} %"))
+
+    passed = sum(results)
+    print(f"\n{passed}/{len(results)} paper anchors reproduced")
+    return 0 if passed == len(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(fast="--fast" in sys.argv))

@@ -1,0 +1,158 @@
+"""repro: multi-channel memory simulation for video recording.
+
+A from-scratch Python reproduction of *"A case for multi-channel
+memories in video recording"* (Aho, Nikara, Tuominen, Kuusilinna --
+Nokia Research Center, DATE 2009): a transaction-level simulator for
+multi-channel mobile-DDR execution memories, driven by a complete
+model of a camcorder's processing chain (image pipeline + H.264/AVC
+encoding), with Micron-methodology DRAM power and 3D-stacking
+interface power models.
+
+Quickstart::
+
+    from repro import (
+        SystemConfig, level_by_name, simulate_use_case,
+    )
+
+    level = level_by_name("4")          # 1080p @ 30 fps
+    config = SystemConfig(channels=4, freq_mhz=400.0)
+    point = simulate_use_case(level, config)
+    print(f"access time {point.access_time_ms:.1f} ms, "
+          f"power {point.total_power_mw:.0f} mW, verdict {point.verdict}")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.analysis import (
+    RealTimeVerdict,
+    compare_energy_strategies,
+    conclusions_summary,
+    find_minimum_power_configuration,
+    minimum_channels,
+    realtime_verdict,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_xdr_comparison,
+    simulate_use_case,
+    stage_breakdown,
+    sweep_use_case,
+)
+from repro.controller import (
+    AddressMultiplexing,
+    ChannelRun,
+    MasterTransaction,
+    Op,
+    PagePolicy,
+)
+from repro.core import (
+    AnalyticModel,
+    ChannelCluster,
+    ChannelInterleaver,
+    ClusteredMemorySystem,
+    MultiChannelMemorySystem,
+    SimulationResult,
+    SystemConfig,
+)
+from repro.dram import (
+    ImmediatePowerDown,
+    NEXT_GEN_MOBILE_DDR,
+    NoPowerDown,
+    PowerModel,
+    ProtocolChecker,
+    TimeoutPowerDown,
+    next_gen_mobile_ddr,
+)
+from repro.dram.datasheet import CONTEMPORARY_MOBILE_DDR, STANDARD_DDR2
+from repro.load import (
+    VideoRecordingLoadModel,
+    choose_scale,
+    pace_transactions,
+    read_trace,
+    write_trace,
+)
+from repro.power import (
+    XDR_CELL_BE,
+    compute_frame_power,
+    interface_power_w,
+)
+from repro.usecase import (
+    FORMAT_1080P,
+    FORMAT_2160P,
+    FORMAT_720P,
+    FORMAT_WVGA,
+    H264Level,
+    PAPER_LEVELS,
+    VideoRecordingUseCase,
+    compute_table1,
+    level_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # analysis
+    "RealTimeVerdict",
+    "realtime_verdict",
+    "compare_energy_strategies",
+    "conclusions_summary",
+    "find_minimum_power_configuration",
+    "minimum_channels",
+    "stage_breakdown",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+    "run_table2",
+    "run_xdr_comparison",
+    "simulate_use_case",
+    "sweep_use_case",
+    # controller
+    "AddressMultiplexing",
+    "ChannelRun",
+    "MasterTransaction",
+    "Op",
+    "PagePolicy",
+    # core
+    "AnalyticModel",
+    "ChannelCluster",
+    "ChannelInterleaver",
+    "ClusteredMemorySystem",
+    "MultiChannelMemorySystem",
+    "SimulationResult",
+    "SystemConfig",
+    # dram
+    "CONTEMPORARY_MOBILE_DDR",
+    "ImmediatePowerDown",
+    "NEXT_GEN_MOBILE_DDR",
+    "NoPowerDown",
+    "PowerModel",
+    "ProtocolChecker",
+    "STANDARD_DDR2",
+    "TimeoutPowerDown",
+    "next_gen_mobile_ddr",
+    # load
+    "VideoRecordingLoadModel",
+    "choose_scale",
+    "pace_transactions",
+    "read_trace",
+    "write_trace",
+    # power
+    "XDR_CELL_BE",
+    "compute_frame_power",
+    "interface_power_w",
+    # usecase
+    "FORMAT_1080P",
+    "FORMAT_2160P",
+    "FORMAT_720P",
+    "FORMAT_WVGA",
+    "H264Level",
+    "PAPER_LEVELS",
+    "VideoRecordingUseCase",
+    "compute_table1",
+    "level_by_name",
+    "__version__",
+]

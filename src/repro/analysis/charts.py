@@ -1,0 +1,139 @@
+"""Terminal chart rendering for the paper's figures.
+
+The tables are the ground truth; these charts make the *shapes* of
+Figs. 3-5 visible in a terminal without any plotting dependency:
+horizontal bar charts with a reference line (the real-time
+requirement) and grouped bars per frame format (the Fig. 4/5 layout).
+Pure string manipulation, fully unit-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Characters used for bars and markers.
+BAR_CHAR = "#"
+ZERO_MARK = "(zero: misses real time)"
+LINE_CHAR = "|"
+
+
+def hbar_chart(
+    entries: Sequence[Tuple[str, float]],
+    width: int = 50,
+    reference: Optional[Tuple[str, float]] = None,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars.
+
+    ``entries`` are (label, value) pairs; a ``reference`` (label,
+    value) draws a vertical marker at that value in every row -- used
+    for the 33 ms / 16.7 ms real-time lines.  Zero-valued bars render
+    the Fig. 5 zero-bar annotation instead of an empty bar.
+    """
+    if not entries:
+        raise ConfigurationError("chart needs at least one entry")
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    values = [v for _, v in entries]
+    if any(v < 0 for v in values):
+        raise ConfigurationError("bar values must be non-negative")
+    top = max(values + ([reference[1]] if reference else []))
+    if top <= 0:
+        top = 1.0
+    label_w = max(len(label) for label, _ in entries)
+    scale = (width - 1) / top
+
+    ref_col = None
+    lines: List[str] = []
+    if reference is not None:
+        ref_col = min(width - 1, int(round(reference[1] * scale)))
+
+    for label, value in entries:
+        if value == 0:
+            bar = ZERO_MARK
+        else:
+            n = max(1, int(round(value * scale)))
+            cells = [BAR_CHAR] * n + [" "] * (width - n)
+            if ref_col is not None and ref_col < len(cells):
+                cells[ref_col] = LINE_CHAR
+            bar = "".join(cells).rstrip()
+        lines.append(
+            f"{label.ljust(label_w)}  {value:8.1f}{unit}  {bar}"
+        )
+    if reference is not None:
+        lines.append(
+            f"{'':{label_w}}  {'':>8}   "
+            + " " * ref_col
+            + f"^ {reference[0]} = {reference[1]:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 50,
+    reference_per_group: Optional[Mapping[str, float]] = None,
+    unit: str = "",
+) -> str:
+    """Render groups of bars (the Fig. 4/5 layout).
+
+    ``groups`` maps a group title (frame format) to its (series label
+    -> value) bars; ``reference_per_group`` optionally supplies each
+    group's real-time line.
+    """
+    if not groups:
+        raise ConfigurationError("need at least one group")
+    sections: List[str] = []
+    for title, bars in groups.items():
+        if not bars:
+            raise ConfigurationError(f"group {title!r} has no bars")
+        reference = None
+        if reference_per_group and title in reference_per_group:
+            reference = ("real-time", reference_per_group[title])
+        sections.append(title)
+        sections.append(
+            hbar_chart(list(bars.items()), width=width, reference=reference,
+                       unit=unit)
+        )
+        sections.append("")
+    return "\n".join(sections).rstrip()
+
+
+def fig3_chart(fig3, width: int = 50) -> str:
+    """Fig. 3 as grouped bars: one group per clock frequency."""
+    groups: Dict[str, Dict[str, float]] = {}
+    refs: Dict[str, float] = {}
+    for freq in fig3.frequencies_mhz:
+        title = f"{freq:g} MHz"
+        groups[title] = {
+            f"{m} ch": fig3.access_ms[freq][m] for m in fig3.channel_counts
+        }
+        refs[title] = fig3.realtime_requirement_ms
+    return grouped_bars(groups, width=width, reference_per_group=refs, unit=" ms")
+
+
+def fig4_chart(fig4, width: int = 50) -> str:
+    """Fig. 4 as grouped bars: one group per frame format."""
+    groups: Dict[str, Dict[str, float]] = {}
+    refs: Dict[str, float] = {}
+    for level in fig4.levels:
+        title = level.column_title
+        groups[title] = {
+            f"{m} ch": fig4.points[level.name][m].access_time_ms
+            for m in fig4.channel_counts
+        }
+        refs[title] = level.frame_period_ms
+    return grouped_bars(groups, width=width, reference_per_group=refs, unit=" ms")
+
+
+def fig5_chart(fig5, width: int = 50) -> str:
+    """Fig. 5 as grouped bars, with the zero-bar convention."""
+    groups: Dict[str, Dict[str, float]] = {}
+    for level in fig5.levels:
+        groups[level.column_title] = {
+            f"{m} ch": fig5.point(level.name, m).reported_power_mw
+            for m in fig5.channel_counts
+        }
+    return grouped_bars(groups, width=width, unit=" mW")

@@ -1,0 +1,181 @@
+"""Design-space exploration utilities.
+
+The paper's conclusions summarise its sweep as a lookup — level 3.1
+works on one channel, 3.2 needs several, 4 needs four, 4.2/5.2 need
+eight — and call for "novel policies" to keep power manageable as
+loads grow.  This module packages those questions as first-class
+queries over the simulator:
+
+- :func:`minimum_channels` — the smallest channel count that meets a
+  level's real-time requirement (the conclusions' summary table);
+- :func:`find_minimum_power_configuration` — the cheapest feasible
+  (channels, clock) design point for a level;
+- :func:`compare_energy_strategies` — *race-to-idle* (run the memory
+  flat out, then power down for the rest of the frame) versus
+  *just-in-time* (pace the traffic across the frame), the canonical
+  DVFS-era policy question raised by Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.realtime import PAPER_MARGIN, RealTimeVerdict
+from repro.analysis.sweep import SweepPoint, simulate_use_case
+from repro.core.config import (
+    PAPER_CHANNEL_COUNTS,
+    PAPER_FREQUENCIES_MHZ,
+    SystemConfig,
+)
+from repro.core.system import MultiChannelMemorySystem
+from repro.errors import ConfigurationError
+from repro.load.model import VideoRecordingLoadModel
+from repro.load.pacing import pace_transactions
+from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
+from repro.power.report import compute_frame_power
+from repro.usecase.levels import H264Level
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+def minimum_channels(
+    level: H264Level,
+    freq_mhz: float = 400.0,
+    channel_counts: Sequence[int] = PAPER_CHANNEL_COUNTS,
+    require_margin: bool = False,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+) -> Optional[int]:
+    """Smallest channel count meeting the level's real-time target.
+
+    ``require_margin`` demands a full PASS (15 % headroom); otherwise
+    MARGINAL counts as feasible, matching the paper's Fig. 4 reading.
+    Returns ``None`` when no evaluated count suffices.
+    """
+    for channels in sorted(channel_counts):
+        point = simulate_use_case(
+            level,
+            SystemConfig(channels=channels, freq_mhz=freq_mhz),
+            chunk_budget=chunk_budget,
+        )
+        if require_margin:
+            if point.verdict is RealTimeVerdict.PASS:
+                return channels
+        elif point.verdict.feasible:
+            return channels
+    return None
+
+
+def find_minimum_power_configuration(
+    level: H264Level,
+    channel_counts: Sequence[int] = PAPER_CHANNEL_COUNTS,
+    frequencies_mhz: Sequence[float] = PAPER_FREQUENCIES_MHZ,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+) -> Optional[SweepPoint]:
+    """Cheapest (by average power) PASS configuration for ``level``.
+
+    Returns ``None`` when nothing in the evaluated grid passes with
+    the processing margin intact.
+    """
+    best: Optional[SweepPoint] = None
+    for freq in frequencies_mhz:
+        for channels in channel_counts:
+            point = simulate_use_case(
+                level,
+                SystemConfig(channels=channels, freq_mhz=freq),
+                chunk_budget=chunk_budget,
+            )
+            if point.verdict is not RealTimeVerdict.PASS:
+                continue
+            if best is None or point.power.total_power_w < best.power.total_power_w:
+                best = point
+    return best
+
+
+@dataclass(frozen=True)
+class EnergyStrategyComparison:
+    """Race-to-idle vs just-in-time energy for one configuration."""
+
+    level: H264Level
+    config: SystemConfig
+    #: Backlogged run: finish fast, power down for the frame remainder.
+    race_to_idle_energy_j: float
+    race_to_idle_access_ms: float
+    #: Paced run: injection spread over the frame's usable window.
+    just_in_time_energy_j: float
+    just_in_time_access_ms: float
+
+    @property
+    def energy_ratio(self) -> float:
+        """just-in-time / race-to-idle energy (1.0 = tie)."""
+        return self.just_in_time_energy_j / self.race_to_idle_energy_j
+
+    def summary(self) -> str:
+        """One-line human-readable comparison."""
+        return (
+            f"{self.level.column_title} on {self.config.channels}ch @ "
+            f"{self.config.freq_mhz:g} MHz: race-to-idle "
+            f"{self.race_to_idle_energy_j * 1e3:.2f} mJ/frame vs just-in-time "
+            f"{self.just_in_time_energy_j * 1e3:.2f} mJ/frame "
+            f"(ratio {self.energy_ratio:.3f})"
+        )
+
+
+def compare_energy_strategies(
+    level: H264Level,
+    config: SystemConfig,
+    duty: float = 1.0 - PAPER_MARGIN,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+) -> EnergyStrategyComparison:
+    """Compare race-to-idle and just-in-time scheduling energies.
+
+    Both runs move the identical frame traffic on the identical
+    configuration; only arrival times differ.  With the paper's
+    near-free power-down (immediate entry, tXP exit) the two should be
+    close — quantifying *how* close is the point: it shows the paper's
+    aggressive power-down assumption already captures most of what a
+    DVFS-style pacing policy could save at fixed voltage/frequency.
+    """
+    use_case = VideoRecordingUseCase(level)
+    load = VideoRecordingLoadModel(use_case)
+    scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
+    txns = load.generate_frame(scale=scale)
+    system = MultiChannelMemorySystem(config)
+
+    backlogged = system.run(txns, scale=scale)
+    race = compute_frame_power(config, backlogged, level.frame_period_ms)
+    if not race.meets_realtime:
+        raise ConfigurationError(
+            f"{config.describe()} cannot sustain {level.column_title}; "
+            "strategy comparison needs a feasible configuration"
+        )
+
+    paced_txns = pace_transactions(
+        txns, frame_period_ms=level.frame_period_ms * scale, duty=duty
+    )
+    paced = system.run(paced_txns, scale=scale)
+    jit = compute_frame_power(config, paced, level.frame_period_ms)
+
+    return EnergyStrategyComparison(
+        level=level,
+        config=config,
+        race_to_idle_energy_j=race.energy_per_frame_j,
+        race_to_idle_access_ms=race.access_time_ms,
+        just_in_time_energy_j=jit.energy_per_frame_j,
+        just_in_time_access_ms=jit.access_time_ms,
+    )
+
+
+def conclusions_summary(
+    frequencies_mhz: float = 400.0,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+) -> Dict[str, Optional[int]]:
+    """The paper's Section V summary as data: minimum channels per
+    level at 400 MHz."""
+    from repro.usecase.levels import PAPER_LEVELS
+
+    return {
+        level.name: minimum_channels(
+            level, freq_mhz=frequencies_mhz, chunk_budget=chunk_budget
+        )
+        for level in PAPER_LEVELS
+    }

@@ -1,0 +1,113 @@
+"""CSV export of experiment results.
+
+Every figure runner's data can be written as a flat CSV so downstream
+tooling (spreadsheets, plotting scripts) can regenerate the paper's
+plots without importing this package.  Columns are stable and
+documented per artifact.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from repro.analysis.experiments import (
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    XdrComparisonResult,
+)
+from repro.errors import ConfigurationError
+from repro.usecase.bandwidth import BandwidthTable
+
+PathLike = Union[str, Path]
+
+
+def _write_rows(path: PathLike, header: List[str], rows: List[List]) -> int:
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return len(rows)
+
+
+def export_table1(table: BandwidthTable, path: PathLike) -> int:
+    """Table I as CSV: stage, then one Mb/frame column per level, with
+    the totals appended as extra rows.  Returns the data-row count."""
+    rows = table.as_rows()
+    return _write_rows(path, rows[0], rows[1:])
+
+
+def export_fig3(result: Fig3Result, path: PathLike) -> int:
+    """Fig. 3 as CSV: freq_mhz, channels, access_ms, verdict."""
+    rows = []
+    for freq in result.frequencies_mhz:
+        for channels in result.channel_counts:
+            rows.append(
+                [
+                    freq,
+                    channels,
+                    round(result.access_ms[freq][channels], 4),
+                    str(result.verdicts[freq][channels]),
+                ]
+            )
+    return _write_rows(path, ["freq_mhz", "channels", "access_ms", "verdict"], rows)
+
+
+def export_fig4(result: Fig4Result, path: PathLike) -> int:
+    """Fig. 4 as CSV: level, format, fps, channels, access_ms, verdict."""
+    rows = []
+    for level in result.levels:
+        for channels in result.channel_counts:
+            point = result.points[level.name][channels]
+            rows.append(
+                [
+                    level.name,
+                    level.frame.name,
+                    level.fps,
+                    channels,
+                    round(point.access_time_ms, 4),
+                    str(point.verdict),
+                ]
+            )
+    return _write_rows(
+        path,
+        ["level", "format", "fps", "channels", "access_ms", "verdict"],
+        rows,
+    )
+
+
+def export_fig5(result: Fig5Result, path: PathLike) -> int:
+    """Fig. 5 as CSV: level, channels, power_mw (0 when infeasible, the
+    paper's bar convention), raw_power_mw, interface_mw, verdict."""
+    rows = []
+    for level in result.levels:
+        for channels in result.channel_counts:
+            point = result.point(level.name, channels)
+            rows.append(
+                [
+                    level.name,
+                    channels,
+                    round(point.reported_power_mw, 3),
+                    round(point.total_power_mw, 3),
+                    round(point.power.interface_power_w * 1e3, 4),
+                    str(point.verdict),
+                ]
+            )
+    return _write_rows(
+        path,
+        ["level", "channels", "power_mw", "raw_power_mw", "interface_mw", "verdict"],
+        rows,
+    )
+
+
+def export_xdr(result: XdrComparisonResult, path: PathLike) -> int:
+    """XDR comparison as CSV: format, power_mw, ratio_to_xdr."""
+    rows = [
+        [name, round(power_mw, 2), round(ratio, 5)]
+        for name, (power_mw, ratio) in result.per_level.items()
+    ]
+    if not rows:
+        raise ConfigurationError("no feasible levels to export")
+    return _write_rows(path, ["format", "power_mw", "ratio_to_xdr"], rows)

@@ -1,0 +1,116 @@
+"""Configuration-sweep machinery shared by the experiments.
+
+The central primitive is :func:`simulate_use_case`: build the load
+model for an H.264 level, pick a simulation scale, run the
+multi-channel system and assemble the frame-power report.  The Fig. 3,
+4 and 5 runners are thin sweeps over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.realtime import RealTimeVerdict, realtime_verdict
+from repro.core.config import SystemConfig
+from repro.core.results import SimulationResult
+from repro.core.system import MultiChannelMemorySystem
+from repro.errors import ConfigurationError
+from repro.load.model import DEFAULT_BLOCK_BYTES, VideoRecordingLoadModel
+from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
+from repro.power.report import FramePowerReport, compute_frame_power
+from repro.usecase.levels import H264Level
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated (configuration, level) point of a sweep."""
+
+    config: SystemConfig
+    level: H264Level
+    result: SimulationResult
+    power: FramePowerReport
+    verdict: RealTimeVerdict
+
+    @property
+    def access_time_ms(self) -> float:
+        """Full-frame access time, ms."""
+        return self.result.access_time_ms
+
+    @property
+    def total_power_mw(self) -> float:
+        """Frame-average power, mW."""
+        return self.power.total_power_mw
+
+    @property
+    def reported_power_mw(self) -> float:
+        """The Fig. 5 bar height: zero when real time is missed."""
+        return 0.0 if self.verdict is RealTimeVerdict.FAIL else self.total_power_mw
+
+
+def simulate_use_case(
+    level: H264Level,
+    config: SystemConfig,
+    scale: Optional[float] = None,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    use_case: Optional[VideoRecordingUseCase] = None,
+) -> SweepPoint:
+    """Simulate one frame of ``level``'s recording on ``config``.
+
+    ``scale`` overrides the automatic fraction selection (pass 1.0 for
+    an exact full-frame run).
+    """
+    if use_case is None:
+        use_case = VideoRecordingUseCase(level)
+    load = VideoRecordingLoadModel(use_case, block_bytes=block_bytes)
+    if scale is None:
+        scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
+    transactions = load.generate_frame(scale=scale)
+    system = MultiChannelMemorySystem(config)
+    result = system.run(transactions, scale=scale)
+    power = compute_frame_power(config, result, level.frame_period_ms)
+    verdict = realtime_verdict(result.access_time_ms, level.frame_period_ms)
+    return SweepPoint(
+        config=config, level=level, result=result, power=power, verdict=verdict
+    )
+
+
+def sweep_use_case(
+    levels: Sequence[H264Level],
+    configs: Sequence[SystemConfig],
+    scale: Optional[float] = None,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+) -> List[SweepPoint]:
+    """Cartesian sweep of levels x configurations."""
+    if not levels or not configs:
+        raise ConfigurationError("sweep needs at least one level and one config")
+    points: List[SweepPoint] = []
+    for level in levels:
+        for config in configs:
+            points.append(
+                simulate_use_case(
+                    level,
+                    config,
+                    scale=scale,
+                    chunk_budget=chunk_budget,
+                    block_bytes=block_bytes,
+                )
+            )
+    return points
+
+
+def channel_sweep_configs(
+    base: SystemConfig, channel_counts: Iterable[int]
+) -> List[SystemConfig]:
+    """Clone ``base`` across channel counts."""
+    return [base.with_channels(m) for m in channel_counts]
+
+
+def frequency_sweep_configs(
+    base: SystemConfig, frequencies_mhz: Iterable[float]
+) -> List[SystemConfig]:
+    """Clone ``base`` across interface clocks."""
+    return [base.with_frequency(f) for f in frequencies_mhz]

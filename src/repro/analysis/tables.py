@@ -1,0 +1,77 @@
+"""Plain-text table and key/value formatting for experiment reports.
+
+The benchmarks and the CLI print the regenerated paper artifacts as
+aligned ASCII tables; no plotting dependency is required to inspect
+any result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    rows: Sequence[Sequence[str]],
+    header_rule: bool = True,
+    min_width: int = 0,
+) -> str:
+    """Render rows of strings as an aligned ASCII table.
+
+    The first row is treated as the header when ``header_rule`` is
+    set; all rows must have the same number of columns.
+    """
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    width = len(rows[0])
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise ConfigurationError(
+                f"row {i} has {len(row)} columns, expected {width}"
+            )
+    cols = [max(max(len(str(r[c])) for r in rows), min_width) for c in range(width)]
+
+    def _fmt(row: Sequence[str]) -> str:
+        cells = []
+        for c, value in enumerate(row):
+            text = str(value)
+            # Left-align the first (label) column, right-align numbers.
+            if c == 0:
+                cells.append(text.ljust(cols[c]))
+            else:
+                cells.append(text.rjust(cols[c]))
+        return "  ".join(cells).rstrip()
+
+    lines = [_fmt(rows[0])]
+    if header_rule and len(rows) > 1:
+        lines.append("  ".join("-" * w for w in cols))
+    lines.extend(_fmt(row) for row in rows[1:])
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, object], title: str = "") -> str:
+    """Render a mapping as aligned ``key: value`` lines."""
+    if not pairs:
+        raise ConfigurationError("cannot format an empty mapping")
+    width = max(len(str(k)) for k in pairs)
+    lines = [f"{title}" ] if title else []
+    lines.extend(f"{str(k).ljust(width)} : {v}" for k, v in pairs.items())
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+    rows: List[List[str]] = [[x_label] + list(series.keys())]
+    for i, x in enumerate(x_values):
+        rows.append([str(x)] + [str(series[name][i]) for name in series])
+    return format_table(rows)

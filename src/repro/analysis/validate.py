@@ -1,0 +1,159 @@
+"""One-call validation harness: run every cross-check at once.
+
+The repository has three independent correctness oracles for the
+timing engine — the protocol checker, the static locality analyzer and
+the closed-form analytic model — plus byte-conservation between the
+use case and the generated traffic.  This module runs all of them for
+a given (workload, configuration) pair and returns a single summary, so
+users extending the models (new devices, new policies, new workloads)
+can re-verify the whole stack with one call:
+
+    from repro.analysis.validate import validate_configuration
+    summary = validate_configuration(level_by_name("4"), SystemConfig(channels=4))
+    assert summary.all_passed, summary.failures()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analytic import AnalyticModel
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.errors import ConfigurationError
+from repro.load.locality import predict_locality
+from repro.load.model import VideoRecordingLoadModel
+from repro.load.scaling import choose_scale
+from repro.usecase.levels import H264Level
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+@dataclass(frozen=True)
+class ValidationCheck:
+    """One cross-check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class ValidationSummary:
+    """All cross-checks for one (workload, configuration) pair."""
+
+    config_description: str
+    checks: Tuple[ValidationCheck, ...]
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every oracle agreed."""
+        return all(c.passed for c in self.checks)
+
+    def failures(self) -> List[str]:
+        """Human-readable failures."""
+        return [f"{c.name}: {c.detail}" for c in self.checks if not c.passed]
+
+    def format(self) -> str:
+        """One line per check."""
+        lines = [self.config_description]
+        for c in self.checks:
+            lines.append(f"  [{'ok' if c.passed else 'FAIL'}] {c.name}: {c.detail}")
+        return "\n".join(lines)
+
+
+def validate_configuration(
+    level: H264Level,
+    config: SystemConfig,
+    chunk_budget: int = 60_000,
+    analytic_tolerance: float = 0.15,
+) -> ValidationSummary:
+    """Run every oracle against one use-case simulation.
+
+    Checks:
+
+    1. **byte conservation** — the generated traffic carries the
+       Table I per-frame bytes (within granule rounding);
+    2. **protocol audit** — every channel's command stream honours
+       the device protocol;
+    3. **locality agreement** — the engine's activate count brackets
+       the static prediction (equal up to refresh-induced re-opens);
+    4. **analytic agreement** — the closed-form access time tracks the
+       simulation within ``analytic_tolerance``.
+    """
+    if analytic_tolerance <= 0:
+        raise ConfigurationError("analytic_tolerance must be positive")
+    use_case = VideoRecordingUseCase(level)
+    load = VideoRecordingLoadModel(use_case)
+    scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
+    txns = load.generate_frame(scale=scale)
+    summary = load.summarize(txns)
+
+    checks: List[ValidationCheck] = []
+
+    # 1. byte conservation
+    expected = use_case.total_bytes_per_frame() * scale
+    delta = abs(summary.total_bytes - expected) / expected
+    checks.append(
+        ValidationCheck(
+            "byte conservation",
+            delta < 0.005,
+            f"traffic {summary.total_bytes} B vs model {expected:.0f} B "
+            f"({delta * 100:.2f} % off)",
+        )
+    )
+
+    # 2. protocol audit
+    system = MultiChannelMemorySystem(config)
+    logs: List[list] = []
+    result = system.run(txns, scale=scale, command_logs=logs)
+    problems = system.audit(logs)
+    checks.append(
+        ValidationCheck(
+            "protocol audit",
+            not problems,
+            f"{sum(len(l) for l in logs)} commands, "
+            f"{len(problems)} violations",
+        )
+    )
+
+    # 3. locality agreement
+    pred = predict_locality(
+        txns, config.channels, config.device.geometry, config.multiplexing
+    )
+    counters = result.merged_counters()
+    slack = counters.refreshes * config.device.geometry.banks * 2
+    locality_ok = (
+        pred.total_activates <= counters.activates <= pred.total_activates + slack
+    )
+    checks.append(
+        ValidationCheck(
+            "locality agreement",
+            locality_ok,
+            f"predicted {pred.total_activates} activates, engine "
+            f"{counters.activates} (refresh slack {slack})",
+        )
+    )
+
+    # 4. analytic agreement
+    estimate = AnalyticModel(config).estimate(
+        summary.total_bytes,
+        rw_switches=summary.rw_switches,
+        read_fraction=summary.read_fraction,
+    )
+    rel = abs(estimate.access_time_ns - result.sample_access_time_ns) / (
+        result.sample_access_time_ns
+    )
+    checks.append(
+        ValidationCheck(
+            "analytic agreement",
+            rel < analytic_tolerance,
+            f"analytic {estimate.access_time_ns / 1e6:.3f} ms vs simulated "
+            f"{result.sample_access_time_ns / 1e6:.3f} ms ({rel * 100:.1f} % off)",
+        )
+    )
+
+    return ValidationSummary(
+        config_description=f"{level.column_title} on {config.describe()}",
+        checks=tuple(checks),
+    )

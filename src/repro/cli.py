@@ -1,0 +1,259 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    repro-sim table1
+    repro-sim table2 --channels 8
+    repro-sim fig3  [--scale 0.125] [--csv DIR]
+    repro-sim fig4  [--freq 400]
+    repro-sim fig5
+    repro-sim xdr
+    repro-sim breakdown [--level 4 --channels 4]
+    repro-sim explore   [--level 4.2]
+    repro-sim all
+
+Every subcommand prints the regenerated table/figure as ASCII; pass
+``--csv DIR`` to also write the raw data as CSV files.  See
+EXPERIMENTS.md for how the output maps onto the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.breakdown import stage_breakdown
+from repro.analysis.experiments import (
+    format_table1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_xdr_comparison,
+)
+from repro.analysis.explorer import (
+    find_minimum_power_configuration,
+    minimum_channels,
+)
+from repro.analysis.export import (
+    export_fig3,
+    export_fig4,
+    export_fig5,
+    export_table1,
+    export_xdr,
+)
+from repro.core.config import SystemConfig
+from repro.usecase.levels import level_by_name
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Regenerate the tables and figures of 'A case for multi-channel "
+            "memories in video recording' (DATE 2009)."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload fraction to simulate (default: automatic)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="simulated-burst budget used for automatic scaling",
+    )
+    parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="also write the artifact's data as CSV files into DIR",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figures as terminal bar charts as well as tables",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: per-stage bandwidth requirements")
+
+    p_t2 = sub.add_parser("table2", help="Table II: memory mapping over channels")
+    p_t2.add_argument("--channels", type=int, default=8, help="channel count M")
+
+    sub.add_parser("fig3", help="Fig. 3: access time vs clock frequency")
+
+    p_f4 = sub.add_parser("fig4", help="Fig. 4: access time vs frame format")
+    p_f4.add_argument("--freq", type=float, default=400.0, help="clock, MHz")
+
+    p_f5 = sub.add_parser("fig5", help="Fig. 5: power vs frame format")
+    p_f5.add_argument("--freq", type=float, default=400.0, help="clock, MHz")
+
+    sub.add_parser("xdr", help="Section IV: XDR power comparison")
+
+    p_bd = sub.add_parser(
+        "breakdown", help="per-stage access-time/energy attribution"
+    )
+    p_bd.add_argument("--level", type=str, default="4", help="H.264 level name")
+    p_bd.add_argument("--channels", type=int, default=4, help="channel count")
+    p_bd.add_argument("--freq", type=float, default=400.0, help="clock, MHz")
+
+    p_ex = sub.add_parser(
+        "explore", help="minimum channels and cheapest design point for a level"
+    )
+    p_ex.add_argument("--level", type=str, default="4", help="H.264 level name")
+
+    p_rep = sub.add_parser(
+        "report", help="write a full reproduction report (markdown)"
+    )
+    p_rep.add_argument(
+        "--out", type=str, default="REPORT.md", help="output markdown path"
+    )
+
+    p_val = sub.add_parser(
+        "validate", help="run every correctness oracle for one design point"
+    )
+    p_val.add_argument("--level", type=str, default="4", help="H.264 level name")
+    p_val.add_argument("--channels", type=int, default=4, help="channel count")
+    p_val.add_argument("--freq", type=float, default=400.0, help="clock, MHz")
+
+    sub.add_parser("all", help="run every artifact in paper order")
+    return parser
+
+
+def _csv_dir(args: argparse.Namespace) -> Optional[Path]:
+    if args.csv is None:
+        return None
+    path = Path(args.csv)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _run_command(args: argparse.Namespace) -> List[str]:
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.budget is not None:
+        kwargs["chunk_budget"] = args.budget
+    budget_only = {k: v for k, v in kwargs.items() if k == "chunk_budget"}
+    csv_dir = _csv_dir(args)
+
+    sections: List[str] = []
+    command = args.command
+
+    if command in ("table1", "all"):
+        table = run_table1()
+        sections.append("== Table I: memory bandwidth requirements ==")
+        sections.append(format_table1(table))
+        if csv_dir is not None:
+            export_table1(table, csv_dir / "table1.csv")
+    if command in ("table2", "all"):
+        channels = getattr(args, "channels", 8)
+        sections.append(f"== Table II: memory mapping over {channels} channels ==")
+        sections.append(run_table2(channels).format())
+    if command in ("fig3", "all"):
+        fig3 = run_fig3(**kwargs)
+        sections.append("== Fig. 3: access time vs clock frequency (720p30) ==")
+        sections.append(fig3.format())
+        if args.chart:
+            from repro.analysis.charts import fig3_chart
+
+            sections.append(fig3_chart(fig3))
+        if csv_dir is not None:
+            export_fig3(fig3, csv_dir / "fig3.csv")
+    if command in ("fig4", "all"):
+        freq = getattr(args, "freq", 400.0)
+        fig4 = run_fig4(freq_mhz=freq, **kwargs)
+        sections.append(f"== Fig. 4: access time vs frame format ({freq:g} MHz) ==")
+        sections.append(fig4.format())
+        if args.chart:
+            from repro.analysis.charts import fig4_chart
+
+            sections.append(fig4_chart(fig4))
+        if csv_dir is not None:
+            export_fig4(fig4, csv_dir / "fig4.csv")
+    if command in ("fig5", "all"):
+        freq = getattr(args, "freq", 400.0)
+        fig5 = run_fig5(freq_mhz=freq, **kwargs)
+        sections.append(f"== Fig. 5: power vs frame format ({freq:g} MHz) ==")
+        sections.append(fig5.format())
+        if args.chart:
+            from repro.analysis.charts import fig5_chart
+
+            sections.append(fig5_chart(fig5))
+        if csv_dir is not None:
+            export_fig5(fig5, csv_dir / "fig5.csv")
+    if command in ("xdr", "all"):
+        xdr = run_xdr_comparison(**kwargs)
+        sections.append("== XDR comparison (8 channels @ 400 MHz) ==")
+        sections.append(xdr.format())
+        if csv_dir is not None:
+            export_xdr(xdr, csv_dir / "xdr.csv")
+    if command == "breakdown":
+        level = level_by_name(args.level)
+        config = SystemConfig(channels=args.channels, freq_mhz=args.freq)
+        result = stage_breakdown(level, config, **budget_only)
+        sections.append(
+            f"== Per-stage breakdown: {level.column_title} on "
+            f"{config.describe()} =="
+        )
+        sections.append(result.format())
+    if command == "report":
+        from repro.analysis.reportgen import write_report
+
+        anchors = write_report(args.out, **budget_only)
+        held = sum(a.holds for a in anchors)
+        sections.append(
+            f"wrote {args.out}: {held}/{len(anchors)} paper anchors reproduced"
+        )
+    if command == "validate":
+        from repro.analysis.validate import validate_configuration
+
+        summary = validate_configuration(
+            level_by_name(args.level),
+            SystemConfig(channels=args.channels, freq_mhz=args.freq),
+            **budget_only,
+        )
+        sections.append("== Validation: all correctness oracles ==")
+        sections.append(summary.format())
+        if not summary.all_passed:
+            sections.append("VALIDATION FAILED")
+    if command == "explore":
+        level = level_by_name(args.level)
+        sections.append(f"== Design exploration: {level.column_title} ==")
+        needed = minimum_channels(level, **budget_only)
+        if needed is None:
+            sections.append("no evaluated channel count meets real time at 400 MHz")
+        else:
+            sections.append(f"minimum channels at 400 MHz: {needed}")
+        best = find_minimum_power_configuration(level, **budget_only)
+        if best is None:
+            sections.append("no configuration passes with the 15 % margin")
+        else:
+            sections.append(
+                f"cheapest safe design point: {best.config.channels} ch @ "
+                f"{best.config.freq_mhz:g} MHz -> {best.access_time_ms:.1f} ms, "
+                f"{best.total_power_mw:.0f} mW"
+            )
+    return sections
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    for section in _run_command(args):
+        print(section)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Per-channel memory-controller models.
+
+Section III of the paper: each channel contains a memory controller
+(MC), a DRAM interconnect and a bank cluster.  "The memory controller
+takes care of memory mappings onto banks, rows and columns of the bank
+cluster" and "manage[s] all the DRAM operations: precharges,
+activations, reads, writes, refreshes, and power downs."
+
+- :mod:`repro.controller.request` -- master transactions and channel
+  access runs,
+- :mod:`repro.controller.mapping` -- RBC/BRC address multiplexing,
+- :mod:`repro.controller.pagepolicy` -- open/closed page policies,
+- :mod:`repro.controller.interconnect` -- the DRAM interconnect cost
+  model,
+- :mod:`repro.controller.queue` -- bounded command queue bookkeeping,
+- :mod:`repro.controller.engine` -- the event-driven channel engine.
+"""
+
+from repro.controller.request import Op, MasterTransaction, ChannelRun
+from repro.controller.mapping import AddressMultiplexing, AddressMapping
+from repro.controller.pagepolicy import PagePolicy
+from repro.controller.interconnect import InterconnectModel
+from repro.controller.queue import CommandQueueModel
+from repro.controller.engine import ChannelEngine, ChannelResult
+from repro.controller.frfcfs import ReorderingChannelEngine
+
+__all__ = [
+    "ReorderingChannelEngine",
+    "Op",
+    "MasterTransaction",
+    "ChannelRun",
+    "AddressMultiplexing",
+    "AddressMapping",
+    "PagePolicy",
+    "InterconnectModel",
+    "CommandQueueModel",
+    "ChannelEngine",
+    "ChannelResult",
+]

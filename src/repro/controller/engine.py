@@ -1,0 +1,530 @@
+"""The event-driven channel engine.
+
+This is the heart of the reproduction: one instance models one channel
+of Fig. 2 -- memory controller, DRAM interconnect and bank cluster --
+and advances a cycle-resolution timeline over a stream of burst
+accesses while enforcing the device's inter-command timing constraints
+(tRP, tRCD, tRAS, tRC, tRRD, tWR, tWTR, tRFC, tXP, CAS/write latency,
+burst occupancy) and collecting the command counts and state
+residencies the power model integrates.
+
+The engine is *event-driven per access*, not per cycle: each 16-byte
+burst advances the per-bank ready times and the shared command/data
+bus schedules by integer cycle arithmetic.  That matches the paper's
+methodology ("untimed transaction level models associated with
+separate timing and power information") and keeps the pure-Python cost
+at a handful of integer operations per access.
+
+Scheduling model
+----------------
+
+- Accesses are processed strictly in order (FCFS) -- the paper's load
+  is a single master's sequential stream, so reordering has nothing to
+  exploit.
+- The command bus issues one command per cycle; precharge/activate
+  pairs for upcoming accesses can issue while earlier data bursts are
+  still draining, bounded by the command-queue depth
+  (:class:`repro.controller.queue.CommandQueueModel`).
+- The data bus is seamless for same-direction bursts; direction
+  switches pay the write-to-read (tWTR) and read-to-write turnaround
+  gaps.
+- Refresh: every tREFI the engine precharges all banks and issues an
+  all-bank refresh occupying tRFC (Section III: refresh is "done
+  periodically for all DRAM banks").
+- Power-down: idle gaps in front of a run are handed to the
+  :class:`~repro.dram.powerstate.PowerDownPolicy`; powered-down cycles
+  delay the next command by tXP and are accounted as power-down
+  residency (Section III: clusters "go to power down states after the
+  first idle clock cycle" under the default policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.controller.interconnect import OVERHEAD_SCALE, InterconnectModel
+from repro.controller.mapping import AddressMapping, AddressMultiplexing
+from repro.controller.pagepolicy import PagePolicy
+from repro.controller.queue import CommandQueueModel
+from repro.controller.request import ChannelRun, Op
+from repro.dram.commands import Command, CommandCounters, StateDurations
+from repro.dram.datasheet import DeviceDescriptor
+from repro.dram.device import NO_OPEN_ROW
+from repro.dram.powerstate import ImmediatePowerDown, PowerDownPolicy
+from repro.dram.protocol import CommandRecord, ProtocolChecker
+from repro.errors import AddressError, ConfigurationError
+
+#: Accepted run formats: ChannelRun objects or raw (op, start, count[, arrival]) tuples.
+RunLike = Union[ChannelRun, Tuple[int, int, int], Tuple[int, int, int, int]]
+
+
+@dataclass
+class ChannelResult:
+    """Outcome of running one channel over an access stream.
+
+    Times are channel clock cycles unless suffixed ``_ns``.
+    """
+
+    #: Cycle at which the last data beat (or refresh) completes.
+    finish_cycle: int
+    #: Interface clock frequency the run used, MHz.
+    freq_mhz: float
+    #: Cycles the data bus spent moving data (useful work).
+    data_cycles: int
+    #: Bursts read / written.
+    chunks_read: int
+    chunks_written: int
+    #: Commands issued.
+    counters: CommandCounters
+    #: Power-state residencies (ns), covering [0, finish].
+    states: StateDurations
+    #: Column accesses per bank (bank-balance statistics).
+    bank_accesses: Tuple[int, ...] = ()
+
+    @property
+    def finish_ns(self) -> float:
+        """Completion time in nanoseconds."""
+        return self.finish_cycle * (1000.0 / self.freq_mhz)
+
+    @property
+    def total_chunks(self) -> int:
+        """Total bursts transferred."""
+        return self.chunks_read + self.chunks_written
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes transferred."""
+        return self.total_chunks * 16
+
+    @property
+    def bank_balance(self) -> float:
+        """Evenness of the bank access distribution: min/max ratio.
+
+        1.0 means perfectly balanced banks; values near zero mean one
+        bank is hammered while others idle (the pathology XOR-folded
+        mappings exist to fix).  Returns 1.0 when no accesses or no
+        statistics were collected.
+        """
+        if not self.bank_accesses or sum(self.bank_accesses) == 0:
+            return 1.0
+        return min(self.bank_accesses) / max(1, max(self.bank_accesses))
+
+    @property
+    def bus_efficiency(self) -> float:
+        """Fraction of elapsed cycles the data bus moved data.
+
+        This is the per-channel efficiency the paper's feasibility
+        boundaries hinge on; 1.0 means every cycle carried data.
+        """
+        if self.finish_cycle <= 0:
+            return 1.0 if self.data_cycles == 0 else 0.0
+        return self.data_cycles / self.finish_cycle
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Achieved bandwidth over the run, bytes/s."""
+        if self.finish_cycle <= 0:
+            return 0.0
+        return self.bytes_moved / (self.finish_ns * 1e-9)
+
+
+class ChannelEngine:
+    """Timing engine for one memory channel.
+
+    Parameters
+    ----------
+    device:
+        The bank-cluster descriptor (geometry + timing + currents).
+    freq_mhz:
+        Interface clock frequency; must lie in the device's range.
+    multiplexing:
+        RBC (paper default) or BRC address multiplexing.
+    page_policy:
+        Open (paper default) or closed page policy.
+    power_down:
+        Idle-gap policy; defaults to the paper's immediate power-down.
+    interconnect:
+        DRAM-interconnect overhead model.
+    queue:
+        Command-queue depth model.
+    """
+
+    def __init__(
+        self,
+        device: DeviceDescriptor,
+        freq_mhz: float,
+        multiplexing: AddressMultiplexing = AddressMultiplexing.RBC,
+        page_policy: PagePolicy = PagePolicy.OPEN,
+        power_down: PowerDownPolicy = None,
+        interconnect: InterconnectModel = None,
+        queue: CommandQueueModel = None,
+    ) -> None:
+        device.timing.validate_frequency(freq_mhz)
+        self.device = device
+        self.freq_mhz = freq_mhz
+        self.timing = device.timing.at_frequency(freq_mhz)
+        self.mapping = AddressMapping.build(device.geometry, multiplexing)
+        self.page_policy = page_policy
+        self.power_down = power_down if power_down is not None else ImmediatePowerDown()
+        self.interconnect = (
+            interconnect if interconnect is not None else InterconnectModel()
+        )
+        self.queue = queue if queue is not None else CommandQueueModel()
+        if not isinstance(page_policy, PagePolicy):
+            raise ConfigurationError(f"invalid page policy {page_policy!r}")
+        self._max_chunk = device.geometry.capacity_bytes >> 4
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalise(runs: Iterable[RunLike]) -> Sequence[Tuple[int, int, int, int]]:
+        """Convert accepted run formats into (op, start, count, arrival)."""
+        out = []
+        for run in runs:
+            if isinstance(run, ChannelRun):
+                out.append(
+                    (int(run.op), run.start_chunk, run.count, run.arrival_cycle)
+                )
+            else:
+                if len(run) == 3:
+                    op, start, count = run
+                    arrival = 0
+                else:
+                    op, start, count, arrival = run
+                if op not in (0, 1):
+                    raise ConfigurationError(f"run op must be 0 or 1, got {op!r}")
+                if count <= 0:
+                    raise ConfigurationError(f"run count must be positive, got {count}")
+                if start < 0 or arrival < 0:
+                    raise ConfigurationError("run start/arrival must be non-negative")
+                out.append((op, start, count, arrival))
+        return out
+
+    def make_checker(self) -> ProtocolChecker:
+        """Build a protocol checker matched to this engine's device and
+        clock, for auditing a ``command_log``."""
+        return ProtocolChecker(self.timing, self.device.geometry)
+
+    def run(
+        self,
+        runs: Iterable[RunLike],
+        command_log: Optional[list] = None,
+    ) -> ChannelResult:
+        """Process an ordered stream of access runs and return timing,
+        command and power-state statistics.
+
+        Pass a list as ``command_log`` to record every issued command
+        as a :class:`~repro.dram.protocol.CommandRecord` (in issue
+        order) for auditing with the :class:`ProtocolChecker`.
+        Logging roughly doubles the per-burst cost; leave it off for
+        large sweeps.
+
+        The loop body is deliberately monolithic and local-variable
+        heavy: it executes once per 16-byte burst and dominates the
+        simulator's runtime.
+        """
+        normalised = self._normalise(runs)
+        log_append = command_log.append if command_log is not None else None
+
+        timing = self.timing
+        cas = timing.cas_latency
+        wl = timing.write_latency
+        burst = timing.burst_cycles
+        t_rp = timing.t_rp
+        t_rcd = timing.t_rcd
+        t_ras = timing.t_ras
+        t_rc = timing.t_rc
+        t_rrd = timing.t_rrd
+        t_wr = timing.t_wr
+        t_wtr = timing.t_wtr
+        rtw_gap = timing.t_rtw_gap
+        t_xp = timing.t_xp
+        t_cke = timing.t_cke
+        t_refi = timing.t_refi
+        t_rfc = timing.t_rfc
+
+        bank_shift = self.mapping.bank_shift
+        bank_mask = self.mapping.bank_mask
+        row_shift = self.mapping.row_shift
+        row_mask = self.mapping.row_mask
+        xor_shift = self.mapping.xor_shift
+        xor_mask = self.mapping.xor_mask
+
+        nbanks = self.device.geometry.banks
+        open_row = [NO_OPEN_ROW] * nbanks
+        act_ready = [0] * nbanks
+        pre_ready = [0] * nbanks
+        col_ready = [0] * nbanks
+        bank_accesses = [0] * nbanks
+
+        closed_page = not self.page_policy.keeps_rows_open
+
+        cmd_free = 0
+        bus_free = 0
+        last_rd_end = -(10**9)
+        last_wr_end = -(10**9)
+        last_act_any = -(10**9)
+        last_pre_any = -(10**9)
+        next_ref = t_refi
+        t_faw = timing.t_faw
+        faw_hist = [-(10**9)] * 4  # last four ACT cycles (tFAW window)
+        faw_idx = 0
+
+        ovh_per = self.interconnect.overhead_fixed_point
+        ovh_acc = 0
+        ovh_mask = OVERHEAD_SCALE - 1
+
+        qdepth = self.queue.depth
+        ring = self.queue.make_ring()
+        ring_i = 0
+
+        pd_policy = self.power_down
+        pd_cycles = 0
+        pd_entries = 0
+
+        n_act = 0
+        n_pre = 0
+        n_rd = 0
+        n_wr = 0
+        n_ref = 0
+        max_chunk = self._max_chunk
+
+        for op, start, count, arrival in normalised:
+            if start + count > max_chunk:
+                raise AddressError(
+                    f"run [{start}, {start + count}) exceeds channel capacity "
+                    f"of {max_chunk} chunks"
+                )
+            # --- idle-gap / power-down handling at run boundaries -------
+            if arrival > cmd_free and arrival > bus_free:
+                busy_until = cmd_free if cmd_free > bus_free else bus_free
+                gap = arrival - busy_until
+                down = pd_policy.powered_down_cycles(gap, t_cke, t_xp)
+                if down > 0:
+                    pd_cycles += down
+                    pd_entries += 1
+                    floor = arrival + t_xp
+                    if log_append is not None:
+                        log_append(
+                            CommandRecord(busy_until + 1, Command.POWER_DOWN_ENTER)
+                        )
+                        log_append(CommandRecord(arrival, Command.POWER_DOWN_EXIT))
+                else:
+                    floor = arrival
+                if floor > cmd_free:
+                    cmd_free = floor
+                if arrival > bus_free:
+                    bus_free = arrival
+
+            is_read = op == 0
+            for k in range(count):
+                chunk = start + k
+                bank = (
+                    (chunk >> bank_shift) ^ ((chunk >> xor_shift) & xor_mask)
+                ) & bank_mask
+                row = (chunk >> row_shift) & row_mask
+
+                # --- refresh ------------------------------------------
+                if cmd_free >= next_ref:
+                    tpre = cmd_free
+                    any_open = False
+                    for b in range(nbanks):
+                        if open_row[b] != NO_OPEN_ROW:
+                            any_open = True
+                            if pre_ready[b] > tpre:
+                                tpre = pre_ready[b]
+                    if any_open:
+                        n_pre += 1  # PREA
+                        tref = tpre + 1 + t_rp
+                        if log_append is not None:
+                            log_append(CommandRecord(tpre, Command.PRECHARGE_ALL))
+                    else:
+                        # All banks already closed, but the most recent
+                        # precharge must still settle for tRP.
+                        tref = tpre
+                        f = last_pre_any + t_rp
+                        if f > tref:
+                            tref = f
+                    if log_append is not None:
+                        log_append(CommandRecord(tref, Command.REFRESH))
+                    ref_done = tref + 1 + t_rfc
+                    for b in range(nbanks):
+                        open_row[b] = NO_OPEN_ROW
+                        if act_ready[b] < ref_done:
+                            act_ready[b] = ref_done
+                    if ref_done > cmd_free:
+                        cmd_free = ref_done
+                    n_ref += 1
+                    next_ref += t_refi
+                    while next_ref <= cmd_free:
+                        # Catch up if a long stall crossed several tREFI.
+                        if log_append is not None:
+                            log_append(CommandRecord(cmd_free, Command.REFRESH))
+                        ref_done = cmd_free + 1 + t_rfc
+                        for b in range(nbanks):
+                            if act_ready[b] < ref_done:
+                                act_ready[b] = ref_done
+                        cmd_free = ref_done
+                        n_ref += 1
+                        next_ref += t_refi
+
+                t0 = cmd_free
+                # --- command-queue bound ------------------------------
+                floor = ring[ring_i]
+                if floor > t0:
+                    t0 = floor
+
+                # --- row management -----------------------------------
+                orow = open_row[bank]
+                if orow != row:
+                    if orow != NO_OPEN_ROW:
+                        tpre = pre_ready[bank]
+                        if tpre < t0:
+                            tpre = t0
+                        if tpre < cmd_free:
+                            tpre = cmd_free
+                        cmd_free = tpre + 1
+                        n_pre += 1
+                        last_pre_any = tpre
+                        if log_append is not None:
+                            log_append(CommandRecord(tpre, Command.PRECHARGE, bank))
+                        tact = tpre + t_rp
+                        if act_ready[bank] > tact:
+                            tact = act_ready[bank]
+                    else:
+                        tact = t0
+                        if act_ready[bank] > tact:
+                            tact = act_ready[bank]
+                    rrd_floor = last_act_any + t_rrd
+                    if rrd_floor > tact:
+                        tact = rrd_floor
+                    faw_floor = faw_hist[faw_idx] + t_faw
+                    if faw_floor > tact:
+                        tact = faw_floor
+                    if tact < cmd_free:
+                        tact = cmd_free
+                    cmd_free = tact + 1
+                    faw_hist[faw_idx] = tact
+                    faw_idx = (faw_idx + 1) & 3
+                    if log_append is not None:
+                        log_append(CommandRecord(tact, Command.ACTIVATE, bank, row))
+                    last_act_any = tact
+                    act_ready[bank] = tact + t_rc
+                    pre_ready[bank] = tact + t_ras
+                    col_ready[bank] = tact + t_rcd
+                    open_row[bank] = row
+                    n_act += 1
+
+                # --- column command -----------------------------------
+                t = col_ready[bank]
+                if t < t0:
+                    t = t0
+                if is_read:
+                    f = last_wr_end + t_wtr
+                    if f > t:
+                        t = f
+                    f = bus_free - cas
+                    if f > t:
+                        t = f
+                    if t < cmd_free:
+                        t = cmd_free
+                    cmd_free = t + 1
+                    if log_append is not None:
+                        log_append(CommandRecord(t, Command.READ, bank, row))
+                    ds = t + cas
+                    de = ds + burst
+                    last_rd_end = de
+                    f = t + burst  # read-to-precharge (tRTP ~ BL/2)
+                    if f > pre_ready[bank]:
+                        pre_ready[bank] = f
+                    n_rd += 1
+                else:
+                    f = last_rd_end + rtw_gap - wl
+                    if f > t:
+                        t = f
+                    f = bus_free - wl
+                    if f > t:
+                        t = f
+                    if t < cmd_free:
+                        t = cmd_free
+                    cmd_free = t + 1
+                    if log_append is not None:
+                        log_append(CommandRecord(t, Command.WRITE, bank, row))
+                    ds = t + wl
+                    de = ds + burst
+                    last_wr_end = de
+                    f = de + t_wr  # write recovery before precharge
+                    if f > pre_ready[bank]:
+                        pre_ready[bank] = f
+                    n_wr += 1
+
+                bank_accesses[bank] += 1
+
+                # --- interconnect overhead ----------------------------
+                ovh_acc += ovh_per
+                if ovh_acc >= OVERHEAD_SCALE:
+                    de += ovh_acc >> 12
+                    ovh_acc &= ovh_mask
+
+                bus_free = de
+                ring[ring_i] = ds
+                ring_i += 1
+                if ring_i == qdepth:
+                    ring_i = 0
+
+                # --- closed-page policy: precharge immediately --------
+                if closed_page:
+                    tpre = pre_ready[bank]
+                    if tpre < cmd_free:
+                        tpre = cmd_free
+                    cmd_free = tpre + 1
+                    n_pre += 1
+                    last_pre_any = tpre
+                    if log_append is not None:
+                        log_append(CommandRecord(tpre, Command.PRECHARGE, bank))
+                    open_row[bank] = NO_OPEN_ROW
+                    f = tpre + t_rp
+                    if f > act_ready[bank]:
+                        act_ready[bank] = f
+
+        finish = bus_free if bus_free > cmd_free else cmd_free
+
+        tck = timing.t_ck_ns
+        total_ns = finish * tck
+        pd_ns = pd_cycles * tck
+        # Under the open-page policy a row is open essentially the whole
+        # busy window; charge non-powered-down time as active standby.
+        # Closed-page leaves banks precharged between accesses instead.
+        if closed_page:
+            active_ns = 0.0
+            pre_standby_ns = max(0.0, total_ns - pd_ns)
+        else:
+            active_ns = max(0.0, total_ns - pd_ns)
+            pre_standby_ns = 0.0
+
+        counters = CommandCounters(
+            activates=n_act,
+            precharges=n_pre,
+            reads=n_rd,
+            writes=n_wr,
+            refreshes=n_ref,
+            power_down_entries=pd_entries,
+            power_down_exits=pd_entries,
+        )
+        states = StateDurations(
+            precharge_standby_ns=pre_standby_ns,
+            active_standby_ns=active_ns,
+            precharge_powerdown_ns=0.0,
+            active_powerdown_ns=pd_ns,
+        )
+        return ChannelResult(
+            finish_cycle=finish,
+            freq_mhz=self.freq_mhz,
+            data_cycles=(n_rd + n_wr) * burst,
+            chunks_read=n_rd,
+            chunks_written=n_wr,
+            counters=counters,
+            states=states,
+            bank_accesses=tuple(bank_accesses),
+        )

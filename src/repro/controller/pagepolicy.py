@@ -1,0 +1,35 @@
+"""Row-buffer (page) management policies.
+
+Section IV: *"In all the evaluations, DRAM open page policy is used."*
+Under the open-page policy the controller leaves a row open after a
+column access, betting the next access to that bank hits the same row
+("When data is read from an open page, only the read operation is
+needed").  The closed-page alternative precharges immediately after
+every access, paying tRP+tRCD on every access but never paying a
+precharge *on the critical path* of a row miss.
+
+The video-recording traffic is highly sequential, so open-page wins
+clearly; the ablation benchmark ``bench_ablation_pagepolicy``
+quantifies by how much.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PagePolicy(enum.Enum):
+    """Row-buffer management policy of the memory controller."""
+
+    #: Leave rows open after access (the paper's policy).
+    OPEN = "open"
+    #: Precharge immediately after every access (auto-precharge).
+    CLOSED = "closed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def keeps_rows_open(self) -> bool:
+        """Whether a row remains open after a column access."""
+        return self is PagePolicy.OPEN

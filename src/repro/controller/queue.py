@@ -1,0 +1,38 @@
+"""Bounded command-queue model.
+
+A real memory controller holds a finite number of outstanding column
+commands; command issue can therefore only run a bounded distance
+ahead of the data the DRAM is still delivering.  The paper's channel
+model is transaction-level, so we capture the effect with a single
+parameter: the command for access *i* may not issue before the data
+phase of access *i - depth* has started.
+
+The bound matters for row misses: with a deep queue the controller
+issues the precharge/activate pair for an upcoming row while earlier
+bursts still occupy the data bus, hiding most of tRP+tRCD; with a
+shallow queue the miss latency lands on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CommandQueueModel:
+    """Depth of the controller's column-command queue."""
+
+    #: Maximum accesses whose commands may be in flight ahead of data.
+    depth: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.depth <= 4096:
+            raise ConfigurationError(
+                f"queue depth must be in [1, 4096], got {self.depth}"
+            )
+
+    def make_ring(self) -> list:
+        """Create the engine's ring buffer of past data-start times."""
+        return [0] * self.depth

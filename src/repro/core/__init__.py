@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the multi-channel memory system.
+
+Combines the per-channel controller/DRAM models into the Fig. 2
+architecture: *M* parallel channels fed through the Table II
+interleaving, simulated independently (the interleaving guarantees a
+sequential master stream decomposes into independent per-channel
+streams), with access time reported as the latest channel completion.
+
+- :mod:`repro.core.config` -- system configuration,
+- :mod:`repro.core.interleave` -- Table II channel interleaving,
+- :mod:`repro.core.channel` -- one channel (MC + interconnect + bank
+  cluster) with its power model,
+- :mod:`repro.core.system` -- the multi-channel system,
+- :mod:`repro.core.results` -- simulation results,
+- :mod:`repro.core.analytic` -- closed-form cross-check model,
+- :mod:`repro.core.clusters` -- the channel-cluster extension from the
+  paper's conclusions.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.interleave import ChannelInterleaver
+from repro.core.channel import Channel
+from repro.core.system import MultiChannelMemorySystem
+from repro.core.results import SimulationResult
+from repro.core.analytic import AnalyticModel, AnalyticEstimate
+from repro.core.clusters import ChannelCluster, ClusteredMemorySystem
+
+__all__ = [
+    "SystemConfig",
+    "ChannelInterleaver",
+    "Channel",
+    "MultiChannelMemorySystem",
+    "SimulationResult",
+    "AnalyticModel",
+    "AnalyticEstimate",
+    "ChannelCluster",
+    "ClusteredMemorySystem",
+]

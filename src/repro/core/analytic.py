@@ -1,0 +1,122 @@
+"""Closed-form cross-check model.
+
+The event-driven engine is the reference; this module predicts its
+results analytically so tests can catch regressions in either.  For
+the paper's sequential traffic the per-channel time decomposes into:
+
+- **data cycles**: bursts x BL/2,
+- **interconnect exposure**: bursts x the average address-phase cost,
+- **read/write turnaround**: each direction switch exposes roughly the
+  write-to-read gap plus the read latency refill on one side and the
+  bus-turnaround bubble on the other,
+- **row misses**: each precharge+activate pair costs tRP+tRCD minus
+  whatever the command queue hides behind in-flight data,
+- **refresh**: a multiplicative tRFC/tREFI duty loss.
+
+The workload statistics (bytes, switches, row misses per channel) come
+from the load model's traffic summary; agreement with the simulator is
+asserted to within a tolerance by ``tests/core/test_analytic.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.request import CHUNK_BYTES
+from repro.core.config import SystemConfig
+from repro.dram.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.units import clock_period_ns
+
+
+@dataclass(frozen=True)
+class AnalyticEstimate:
+    """Predicted behaviour of one configuration on one workload."""
+
+    #: Predicted access time for the full workload, ns.
+    access_time_ns: float
+    #: Predicted per-channel data-bus efficiency (0..1).
+    bus_efficiency: float
+    #: Predicted effective aggregate bandwidth, bytes/s.
+    effective_bandwidth_bytes_per_s: float
+    #: Predicted average power while streaming, W (all channels).
+    streaming_power_w: float
+
+    @property
+    def access_time_ms(self) -> float:
+        """Access time in milliseconds."""
+        return self.access_time_ns / 1e6
+
+
+class AnalyticModel:
+    """Closed-form predictor for a :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.timing = config.device.timing.at_frequency(config.freq_mhz)
+        self.power = PowerModel(config.device, config.freq_mhz)
+
+    def estimate(
+        self,
+        total_bytes: float,
+        rw_switches: int = 0,
+        row_misses_per_channel: float = None,
+        read_fraction: float = 0.5,
+    ) -> AnalyticEstimate:
+        """Predict access time and power for a sequential workload.
+
+        Parameters
+        ----------
+        total_bytes:
+            Bytes moved across all channels.
+        rw_switches:
+            Read/write direction switches in the master stream (each
+            hits every channel).
+        row_misses_per_channel:
+            Override for the expected activates per channel; when
+            omitted, estimated from sequential locality (one miss per
+            row's worth of local data).
+        read_fraction:
+            Read share of the traffic, for the power estimate.
+        """
+        if total_bytes <= 0:
+            raise ConfigurationError(f"total_bytes must be positive: {total_bytes}")
+        cfg = self.config
+        t = self.timing
+        m = cfg.channels
+        bytes_per_channel = total_bytes / m
+        accesses = bytes_per_channel / CHUNK_BYTES
+
+        data_cycles = accesses * t.burst_cycles
+        ic_cycles = accesses * cfg.interconnect.address_cycles_per_access
+
+        # Direction switches: the write->read side exposes tWTR plus the
+        # read-latency refill beyond the write latency; the read->write
+        # side exposes the configured bus-turnaround gap.  Switches
+        # alternate, so charge the average per switch.
+        wr_cost = t.t_wtr + max(0, t.cas_latency - t.write_latency)
+        rw_cost = t.t_rtw_gap
+        switch_cycles = rw_switches * (wr_cost + rw_cost) / 2.0
+
+        if row_misses_per_channel is None:
+            row_bytes = cfg.device.geometry.row_bytes
+            row_misses_per_channel = bytes_per_channel / row_bytes
+        hidden = (cfg.queue.depth - 1) * t.burst_cycles
+        miss_cost = max(0, t.t_rp + t.t_rcd - hidden)
+        miss_cycles = row_misses_per_channel * miss_cost
+
+        busy = data_cycles + ic_cycles + switch_cycles + miss_cycles
+        refresh_duty = t.t_rfc / t.t_refi
+        total_cycles = busy / (1.0 - refresh_duty)
+
+        tck = clock_period_ns(cfg.freq_mhz)
+        access_ns = total_cycles * tck
+        efficiency = data_cycles / total_cycles if total_cycles > 0 else 1.0
+        bandwidth = total_bytes / (access_ns * 1e-9)
+        streaming_power = m * self.power.streaming_power_w(read_fraction) * efficiency
+        return AnalyticEstimate(
+            access_time_ns=access_ns,
+            bus_efficiency=efficiency,
+            effective_bandwidth_bytes_per_s=bandwidth,
+            streaming_power_w=streaming_power,
+        )

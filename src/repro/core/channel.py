@@ -1,0 +1,47 @@
+"""One memory channel: controller + DRAM interconnect + bank cluster.
+
+Section III: *"A memory controller, DRAM interconnect, and bank
+cluster form an entity called channel model.  The delay and power
+consumption figures in the simulations are attained from the channel
+model."*  This class is that entity: it owns a timing engine and the
+matching power model and evaluates both over an access stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.controller.engine import ChannelEngine, ChannelResult, RunLike
+from repro.core.config import SystemConfig
+from repro.dram.power import EnergyBreakdown, PowerModel
+
+
+class Channel:
+    """A simulatable channel built from a :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig, index: int = 0) -> None:
+        self.config = config
+        self.index = index
+        self.engine = ChannelEngine(
+            device=config.device,
+            freq_mhz=config.freq_mhz,
+            multiplexing=config.multiplexing,
+            page_policy=config.page_policy,
+            power_down=config.power_down,
+            interconnect=config.interconnect,
+            queue=config.queue,
+        )
+        self.power_model = PowerModel(config.device, config.freq_mhz)
+
+    def run(self, runs: Iterable[RunLike]) -> ChannelResult:
+        """Simulate an access stream on this channel."""
+        return self.engine.run(runs)
+
+    def energy_of(self, result: ChannelResult) -> EnergyBreakdown:
+        """DRAM core energy of a previously simulated stream."""
+        return self.power_model.energy(result.counters, result.states)
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Raw bandwidth of this single channel."""
+        return self.config.device.peak_bandwidth_bytes_per_s(self.config.freq_mhz)

@@ -1,0 +1,117 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.controller.engine import ChannelResult
+from repro.dram.commands import CommandCounters, StateDurations
+from repro.errors import ConfigurationError
+from repro.units import ns_to_ms
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running a traffic sample through the memory system.
+
+    ``scale`` records the fraction of the full workload that was
+    actually simulated (see :mod:`repro.load.scaling`); the
+    ``*_full`` accessors rescale to the full workload, which is valid
+    because the use-case traffic is statistically uniform over a frame
+    (the paper calls it "very regular and foreseeable memory access
+    behaviour").
+    """
+
+    #: Per-channel outcomes, indexed by channel id.
+    channels: List[ChannelResult]
+    #: Interface clock used, MHz.
+    freq_mhz: float
+    #: Fraction of the full workload simulated (0 < scale <= 1).
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ConfigurationError("a simulation result needs >= 1 channel")
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
+
+    # -- raw (simulated-sample) metrics -------------------------------------
+
+    @property
+    def sample_access_time_ns(self) -> float:
+        """Completion time of the simulated sample: the latest channel."""
+        return max(ch.finish_ns for ch in self.channels)
+
+    @property
+    def sample_bytes(self) -> int:
+        """Bytes actually moved in the simulated sample."""
+        return sum(ch.bytes_moved for ch in self.channels)
+
+    # -- full-workload metrics ----------------------------------------------
+
+    @property
+    def access_time_ns(self) -> float:
+        """Estimated access time of the *full* workload, ns."""
+        return self.sample_access_time_ns / self.scale
+
+    @property
+    def access_time_ms(self) -> float:
+        """Estimated full-workload access time in ms (Fig. 3/4's unit)."""
+        return ns_to_ms(self.access_time_ns)
+
+    @property
+    def total_bytes(self) -> float:
+        """Estimated bytes moved by the full workload."""
+        return self.sample_bytes / self.scale
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Achieved aggregate bandwidth while the transfer was active."""
+        t_ns = self.sample_access_time_ns
+        if t_ns <= 0:
+            return 0.0
+        return self.sample_bytes / (t_ns * 1e-9)
+
+    @property
+    def bus_efficiency(self) -> float:
+        """Aggregate data-bus efficiency across channels.
+
+        Weighted by elapsed time of the slowest channel: the fraction
+        of total channel-cycles that carried data.
+        """
+        finish = max(ch.finish_cycle for ch in self.channels)
+        if finish <= 0:
+            return 1.0
+        data = sum(ch.data_cycles for ch in self.channels)
+        return data / (finish * len(self.channels))
+
+    # -- aggregates -----------------------------------------------------------
+
+    def merged_counters(self) -> CommandCounters:
+        """Command counters summed over channels (simulated sample)."""
+        total = CommandCounters()
+        for ch in self.channels:
+            total = total.merged_with(ch.counters)
+        return total
+
+    def merged_states(self) -> StateDurations:
+        """State residencies summed over channels (simulated sample)."""
+        total = StateDurations()
+        for ch in self.channels:
+            total = total.merged_with(ch.states)
+        return total
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Row-buffer hit rate over all channels."""
+        return self.merged_counters().row_hit_rate()
+
+    def describe(self) -> str:
+        """Compact human-readable summary line."""
+        return (
+            f"{len(self.channels)}ch @ {self.freq_mhz:g} MHz: "
+            f"access {self.access_time_ms:.2f} ms, "
+            f"eff {self.bus_efficiency * 100:.1f} %, "
+            f"row-hit {self.row_hit_rate * 100:.1f} %"
+        )

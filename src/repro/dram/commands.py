@@ -1,0 +1,145 @@
+"""The DRAM command set managed by the memory controller.
+
+Section III of the paper: *"Another task of the controller is to manage
+all the DRAM operations: precharges, activations, reads, writes,
+refreshes, and power downs."*  This module enumerates exactly those
+operations plus the power-down exit, and records per-command statistics
+the power model integrates over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Command(enum.Enum):
+    """A DRAM command as issued on the command bus."""
+
+    #: Activate a row in a bank (opens the page).
+    ACTIVATE = "ACT"
+    #: Precharge one bank (closes its open page).
+    PRECHARGE = "PRE"
+    #: Precharge all banks (issued before a refresh).
+    PRECHARGE_ALL = "PREA"
+    #: Column read from the open row.
+    READ = "RD"
+    #: Column write to the open row.
+    WRITE = "WR"
+    #: Auto refresh (all banks).
+    REFRESH = "REF"
+    #: Power-down entry (CKE low).
+    POWER_DOWN_ENTER = "PDE"
+    #: Power-down exit (CKE high, tXP before the next command).
+    POWER_DOWN_EXIT = "PDX"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class CommandCounters:
+    """Tally of commands issued on one channel during a simulation.
+
+    The power model converts these counts into operation energies
+    (activate energy per ACT, burst energy per RD/WR, refresh energy
+    per REF), so keeping them exact matters more than keeping them
+    cheap -- they are only updated once per command, never per cycle.
+    """
+
+    activates: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    power_down_entries: int = 0
+    power_down_exits: int = 0
+
+    def total_commands(self) -> int:
+        """Total number of commands issued."""
+        return (
+            self.activates
+            + self.precharges
+            + self.reads
+            + self.writes
+            + self.refreshes
+            + self.power_down_entries
+            + self.power_down_exits
+        )
+
+    def row_hit_rate(self) -> float:
+        """Fraction of column accesses that hit an already-open row.
+
+        Every row miss costs one activate, so the hit rate is
+        ``1 - activates / column_accesses``.  Returns 1.0 for an empty
+        simulation (vacuously all hits).
+        """
+        accesses = self.reads + self.writes
+        if accesses == 0:
+            return 1.0
+        return max(0.0, 1.0 - self.activates / accesses)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "activates": self.activates,
+            "precharges": self.precharges,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "power_down_entries": self.power_down_entries,
+            "power_down_exits": self.power_down_exits,
+        }
+
+    def merged_with(self, other: "CommandCounters") -> "CommandCounters":
+        """Return a new counter object with ``other`` added in."""
+        return CommandCounters(
+            activates=self.activates + other.activates,
+            precharges=self.precharges + other.precharges,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            refreshes=self.refreshes + other.refreshes,
+            power_down_entries=self.power_down_entries + other.power_down_entries,
+            power_down_exits=self.power_down_exits + other.power_down_exits,
+        )
+
+
+@dataclass
+class StateDurations:
+    """Time (in nanoseconds) a channel spent in each power-relevant state.
+
+    These are the integration windows for the background components of
+    the Micron-style power model: a DRAM burns different current
+    depending on whether any bank holds an open row and whether CKE is
+    low (power-down).
+    """
+
+    #: All banks precharged, CKE high.
+    precharge_standby_ns: float = 0.0
+    #: At least one bank active (row open), CKE high.
+    active_standby_ns: float = 0.0
+    #: CKE low with all banks precharged.
+    precharge_powerdown_ns: float = 0.0
+    #: CKE low with a row open (the paper's immediate power-down can
+    #: engage while pages are open under the open-page policy).
+    active_powerdown_ns: float = 0.0
+
+    def total_ns(self) -> float:
+        """Total accounted wall-clock time."""
+        return (
+            self.precharge_standby_ns
+            + self.active_standby_ns
+            + self.precharge_powerdown_ns
+            + self.active_powerdown_ns
+        )
+
+    def merged_with(self, other: "StateDurations") -> "StateDurations":
+        """Return a new object with ``other`` added in."""
+        return StateDurations(
+            precharge_standby_ns=self.precharge_standby_ns + other.precharge_standby_ns,
+            active_standby_ns=self.active_standby_ns + other.active_standby_ns,
+            precharge_powerdown_ns=self.precharge_powerdown_ns
+            + other.precharge_powerdown_ns,
+            active_powerdown_ns=self.active_powerdown_ns + other.active_powerdown_ns,
+        )

@@ -1,0 +1,211 @@
+"""Current-integration power model (Micron TN-46-03 methodology).
+
+The paper attaches "separate timing and power information" to its
+untimed transaction-level models and cites the Micron power notes
+([13], [14]).  This module implements that methodology: the controller
+engine reports command counts and state residencies, and the model
+converts them into energy using the device's IDD currents.
+
+Scaling rules across operating points (documented in
+:class:`repro.dram.datasheet.CurrentSet`):
+
+- **Voltage**: all powers scale with ``(V / V_ref)**2`` -- the standard
+  CV^2 derating Micron's notes apply, and how the paper projects its
+  1.35 V next-generation device from 1.8 V datasheets.
+- **Frequency, background**: standby currents are half static / half
+  clock-tree, so ``I(f) = I_ref * (0.5 + 0.5 * f/f_ref)``.
+- **Frequency, power-down**: with CKE low the clock tree is gated, so
+  power-down currents do not scale with frequency.
+- **Frequency, switching**: burst/activate/refresh current increments
+  scale linearly with ``f/f_ref``; because the event durations shrink
+  as ``1/f``, the *energy per operation* is frequency-independent
+  (fixed charge per bit / per row cycle), which is the physically
+  correct behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import CommandCounters, StateDurations
+from repro.dram.datasheet import DeviceDescriptor
+from repro.errors import ConfigurationError
+
+#: 1 mA * 1 V * 1 ns = 1 picojoule.
+_PJ_PER_MA_V_NS = 1.0
+_PJ_TO_J = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy consumed by one channel, split by mechanism (joules).
+
+    ``total_j`` excludes interface (I/O) energy, which the paper models
+    separately with equation (1) -- see :mod:`repro.power.interface`.
+    """
+
+    background_j: float
+    activate_j: float
+    read_j: float
+    write_j: float
+    refresh_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total DRAM core energy in joules."""
+        return (
+            self.background_j
+            + self.activate_j
+            + self.read_j
+            + self.write_j
+            + self.refresh_j
+        )
+
+    def average_power_w(self, duration_ns: float) -> float:
+        """Average power over ``duration_ns`` in watts."""
+        if duration_ns <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {duration_ns} ns"
+            )
+        return self.total_j / (duration_ns * 1e-9)
+
+    def merged_with(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Return a new breakdown with ``other`` added in."""
+        return EnergyBreakdown(
+            background_j=self.background_j + other.background_j,
+            activate_j=self.activate_j + other.activate_j,
+            read_j=self.read_j + other.read_j,
+            write_j=self.write_j + other.write_j,
+            refresh_j=self.refresh_j + other.refresh_j,
+        )
+
+
+ZERO_ENERGY = EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class PowerModel:
+    """Converts one channel's activity statistics into energy.
+
+    Instances are immutable with respect to their operating point; the
+    per-operation energies and per-state powers are precomputed at
+    construction so that evaluating a simulation result is O(1).
+    """
+
+    def __init__(self, device: DeviceDescriptor, freq_mhz: float) -> None:
+        device.timing.validate_frequency(freq_mhz)
+        self.device = device
+        self.freq_mhz = freq_mhz
+
+        cur = device.currents
+        v = device.core_voltage_v
+        v_ref = cur.reference_voltage_v
+        f_ratio = freq_mhz / cur.reference_freq_mhz
+        v_factor = (v / v_ref) ** 2
+        bg_factor = 0.5 + 0.5 * f_ratio
+
+        timing = device.timing
+        tck_ref_ns = 1000.0 / cur.reference_freq_mhz
+        burst_ns_ref = (timing.burst_length // 2) * tck_ref_ns
+
+        # Per-operation energies in picojoules (frequency-independent,
+        # see module docstring).
+        self._e_act_pj = (
+            max(0.0, cur.idd0_ma - cur.idd3n_ma) * v_ref * timing.t_rc_ns * v_factor
+        )
+        self._e_rd_pj = (
+            max(0.0, cur.idd4r_ma - cur.idd3n_ma) * v_ref * burst_ns_ref * v_factor
+        )
+        self._e_wr_pj = (
+            max(0.0, cur.idd4w_ma - cur.idd3n_ma) * v_ref * burst_ns_ref * v_factor
+        )
+        self._e_ref_pj = (
+            max(0.0, cur.idd5_ma - cur.idd2n_ma) * v_ref * timing.t_rfc_ns * v_factor
+        )
+
+        # Per-state background powers in milliwatts.
+        self._p_pre_standby_mw = cur.idd2n_ma * bg_factor * v_ref * v_factor
+        self._p_act_standby_mw = cur.idd3n_ma * bg_factor * v_ref * v_factor
+        self._p_pre_pd_mw = cur.idd2p_ma * v_ref * v_factor
+        self._p_act_pd_mw = cur.idd3p_ma * v_ref * v_factor
+
+    # -- per-operation energies (exposed for the analytic model) ---------
+
+    @property
+    def activate_energy_j(self) -> float:
+        """Energy of one activate/precharge row cycle, joules."""
+        return self._e_act_pj * _PJ_TO_J
+
+    @property
+    def read_burst_energy_j(self) -> float:
+        """Incremental energy of one read burst, joules."""
+        return self._e_rd_pj * _PJ_TO_J
+
+    @property
+    def write_burst_energy_j(self) -> float:
+        """Incremental energy of one write burst, joules."""
+        return self._e_wr_pj * _PJ_TO_J
+
+    @property
+    def refresh_energy_j(self) -> float:
+        """Incremental energy of one all-bank refresh, joules."""
+        return self._e_ref_pj * _PJ_TO_J
+
+    # -- per-state powers (exposed for the analytic model) ---------------
+
+    @property
+    def precharge_standby_power_w(self) -> float:
+        """Background power with all banks idle and CKE high, watts."""
+        return self._p_pre_standby_mw * 1e-3
+
+    @property
+    def active_standby_power_w(self) -> float:
+        """Background power with a row open and CKE high, watts."""
+        return self._p_act_standby_mw * 1e-3
+
+    @property
+    def precharge_powerdown_power_w(self) -> float:
+        """Background power in precharge power-down, watts."""
+        return self._p_pre_pd_mw * 1e-3
+
+    @property
+    def active_powerdown_power_w(self) -> float:
+        """Background power in active power-down, watts."""
+        return self._p_act_pd_mw * 1e-3
+
+    # -- integration ------------------------------------------------------
+
+    def energy(
+        self, commands: CommandCounters, states: StateDurations
+    ) -> EnergyBreakdown:
+        """Integrate command counts and state residencies into energy."""
+        background_pj = (
+            states.precharge_standby_ns * self._p_pre_standby_mw
+            + states.active_standby_ns * self._p_act_standby_mw
+            + states.precharge_powerdown_ns * self._p_pre_pd_mw
+            + states.active_powerdown_ns * self._p_act_pd_mw
+        )
+        return EnergyBreakdown(
+            background_j=background_pj * _PJ_TO_J,
+            activate_j=commands.activates * self._e_act_pj * _PJ_TO_J,
+            read_j=commands.reads * self._e_rd_pj * _PJ_TO_J,
+            write_j=commands.writes * self._e_wr_pj * _PJ_TO_J,
+            refresh_j=commands.refreshes * self._e_ref_pj * _PJ_TO_J,
+        )
+
+    def streaming_power_w(self, read_fraction: float = 0.5) -> float:
+        """Estimated power of a channel streaming at full bus utilisation.
+
+        Used by the analytic cross-check model: burst energy per cycle
+        plus active-standby background.  ``read_fraction`` splits the
+        traffic between read and write bursts.
+        """
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        burst_cycles = self.device.timing.burst_length // 2
+        burst_ns = burst_cycles * (1000.0 / self.freq_mhz)
+        e_burst_pj = (
+            read_fraction * self._e_rd_pj + (1.0 - read_fraction) * self._e_wr_pj
+        )
+        return (e_burst_pj / burst_ns) * 1e-3 + self.active_standby_power_w

@@ -1,0 +1,123 @@
+"""Power-down policies.
+
+Section III: *"For maximum energy savings, it is assumed that bank
+clusters go to power down states after the first idle clock cycle."*
+That aggressive policy is the paper's default; the conclusions add that
+"aggressive use of power-down modes is necessary for energy efficient
+operation with handheld devices".
+
+The policy interface answers one question for the controller engine:
+given an idle gap of *g* cycles in front of the next command, how many
+of those cycles are spent powered down?  Entering costs nothing
+observable; exiting delays the next command by tXP.  The ablation
+benchmark ``bench_ablation_powerdown`` sweeps the three policies below
+to quantify the paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class PowerDownPolicy:
+    """Strategy deciding when an idle channel drops CKE.
+
+    Subclasses implement :meth:`powered_down_cycles`.  The engine calls
+    it with the raw idle gap (cycles between the end of the previous
+    activity and the arrival of the next command) and charges tXP to
+    the next command whenever the returned residency is non-zero.
+    """
+
+    #: Human-readable policy name used in reports.
+    name: str = "abstract"
+
+    def powered_down_cycles(self, idle_gap: int, t_cke: int, t_xp: int) -> int:
+        """Return how many of ``idle_gap`` cycles are spent in power-down.
+
+        ``t_cke`` is the minimum CKE-low residency; ``t_xp`` the exit
+        latency.  A return value of zero means the channel idles in
+        standby instead.
+        """
+        raise NotImplementedError
+
+    def exit_penalty(self, powered_down: int, t_xp: int) -> int:
+        """Cycles of exit latency charged to the next command."""
+        return t_xp if powered_down > 0 else 0
+
+    @property
+    def idles_powered_down(self) -> bool:
+        """Whether long idle windows (e.g. between frames) end up in
+        power-down under this policy.  Drives the idle-energy
+        accounting of :func:`repro.power.report.compute_frame_power`.
+        """
+        return True
+
+
+@dataclass
+class ImmediatePowerDown(PowerDownPolicy):
+    """The paper's policy: power down after the first idle cycle.
+
+    Any gap of at least ``1 + t_cke`` cycles is spent powered down
+    (minus the single detection cycle); shorter gaps stay in standby
+    because the minimum CKE-low time could not be honoured.
+    """
+
+    name: str = "immediate"
+
+    def powered_down_cycles(self, idle_gap: int, t_cke: int, t_xp: int) -> int:
+        if idle_gap <= 0:
+            return 0
+        residency = idle_gap - 1  # one cycle to detect idleness
+        if residency < max(1, t_cke):
+            return 0
+        return residency
+
+
+@dataclass
+class TimeoutPowerDown(PowerDownPolicy):
+    """Power down only after ``timeout_cycles`` of idleness.
+
+    A common controller heuristic that trades some idle power for
+    avoiding the tXP exit penalty on short gaps.  Used by the
+    power-down ablation benchmark.
+    """
+
+    timeout_cycles: int = 16
+    name: str = "timeout"
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles < 1:
+            raise ConfigurationError(
+                f"timeout_cycles must be >= 1, got {self.timeout_cycles}"
+            )
+        self.name = f"timeout-{self.timeout_cycles}"
+
+    def powered_down_cycles(self, idle_gap: int, t_cke: int, t_xp: int) -> int:
+        if idle_gap <= self.timeout_cycles:
+            return 0
+        residency = idle_gap - self.timeout_cycles
+        if residency < max(1, t_cke):
+            return 0
+        return residency
+
+
+@dataclass
+class NoPowerDown(PowerDownPolicy):
+    """Never power down; idle time is spent in standby.
+
+    The baseline the paper's Fig. 5 argument is implicitly made
+    against: without power-down, idle channels keep burning standby
+    current and the multi-channel configurations lose their energy
+    advantage.
+    """
+
+    name: str = "never"
+
+    def powered_down_cycles(self, idle_gap: int, t_cke: int, t_xp: int) -> int:
+        return 0
+
+    @property
+    def idles_powered_down(self) -> bool:
+        return False

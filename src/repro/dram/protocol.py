@@ -1,0 +1,231 @@
+"""DRAM protocol checker: independent verification of command streams.
+
+The channel engine *schedules* commands; this module *audits* them.
+Given the timed command stream a simulation emitted (see
+:class:`~repro.controller.engine.ChannelEngine`'s ``command_log``),
+the checker re-derives every inter-command constraint from the timing
+parameters and reports violations.  Because it shares no scheduling
+code with the engine, an engine bug that issues a command early shows
+up here as a concrete violation rather than silently inflating
+bandwidth.
+
+Checked rules:
+
+- one command per cycle on the command bus;
+- ACT -> RD/WR column delay (tRCD), same bank;
+- ACT -> PRE minimum row-active time (tRAS);
+- PRE -> ACT precharge time (tRP), same bank;
+- ACT -> ACT same bank (tRC) and different banks (tRRD);
+- RD/WR only to a bank whose open row matches the command's row;
+- read -> precharge (burst completion) and write -> precharge (write
+  recovery tWR);
+- REF only with all banks precharged, no command during tRFC, and all
+  rows closed afterwards;
+- data-bus occupancy: read/write bursts must not overlap, respecting
+  CAS and write latency.
+
+Used by the test suite to cross-validate the engine over every
+configuration axis, and available to users auditing custom traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dram.commands import Command
+from repro.dram.device import BankClusterGeometry, NO_OPEN_ROW
+from repro.dram.timing import TimingCycles
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """One command as issued on a channel's command bus.
+
+    ``bank``/``row`` are -1 where not applicable (refresh, power-down).
+    """
+
+    cycle: int
+    command: Command
+    bank: int = -1
+    row: int = -1
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        where = f" b{self.bank}" if self.bank >= 0 else ""
+        where += f" r{self.row}" if self.row >= 0 else ""
+        return f"@{self.cycle} {self.command.value}{where}"
+
+
+@dataclass(frozen=True)
+class ProtocolViolation:
+    """A timing or state rule broken by a command stream."""
+
+    cycle: int
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"@{self.cycle} {self.rule}: {self.detail}"
+
+
+@dataclass
+class _BankAudit:
+    open_row: int = NO_OPEN_ROW
+    last_act: int = -(10**9)
+    last_pre: int = -(10**9)
+    #: Earliest legal precharge (tRAS / read / write recovery).
+    pre_ok: int = -(10**9)
+
+
+class ProtocolChecker:
+    """Validates a command stream against the device protocol."""
+
+    def __init__(self, timing: TimingCycles, geometry: BankClusterGeometry) -> None:
+        self.timing = timing
+        self.geometry = geometry
+
+    def check(self, log: Sequence[CommandRecord]) -> List[ProtocolViolation]:
+        """Audit ``log`` (must be in issue order); returns violations."""
+        t = self.timing
+        banks = [_BankAudit() for _ in range(self.geometry.banks)]
+        violations: List[ProtocolViolation] = []
+        last_cmd_cycle = -(10**9)
+        last_act_any = -(10**9)
+        act_history: List[int] = []  # for the four-activate window
+        ref_busy_until = -(10**9)
+        powered_down_since: Optional[int] = None
+        pd_exit_ok = -(10**9)
+        bus_busy_until = -(10**9)
+        last_read_data_end = -(10**9)
+        last_write_data_end = -(10**9)
+
+        def bad(cycle: int, rule: str, detail: str) -> None:
+            violations.append(ProtocolViolation(cycle, rule, detail))
+
+        for rec in log:
+            c = rec.cycle
+            cmd = rec.command
+
+            if cmd is not Command.POWER_DOWN_ENTER:
+                if c <= last_cmd_cycle and cmd is not Command.POWER_DOWN_EXIT:
+                    bad(c, "command-bus", f"command at or before previous ({last_cmd_cycle})")
+                if powered_down_since is not None and cmd is not Command.POWER_DOWN_EXIT:
+                    bad(c, "power-down", f"{cmd.value} while CKE low")
+                if c < ref_busy_until and cmd is not Command.POWER_DOWN_EXIT:
+                    bad(c, "tRFC", f"{cmd.value} during refresh (busy until {ref_busy_until})")
+                if c < pd_exit_ok:
+                    bad(c, "tXP", f"{cmd.value} within tXP of power-down exit")
+
+            if cmd is Command.ACTIVATE:
+                bank = banks[rec.bank]
+                if bank.open_row != NO_OPEN_ROW:
+                    bad(c, "state", f"ACT to open bank {rec.bank}")
+                if c - bank.last_pre < t.t_rp and bank.last_pre > -(10**8):
+                    bad(c, "tRP", f"bank {rec.bank}: {c - bank.last_pre} < {t.t_rp}")
+                if c - bank.last_act < t.t_rc and bank.last_act > -(10**8):
+                    bad(c, "tRC", f"bank {rec.bank}: {c - bank.last_act} < {t.t_rc}")
+                if c - last_act_any < t.t_rrd and last_act_any > -(10**8):
+                    bad(c, "tRRD", f"{c - last_act_any} < {t.t_rrd}")
+                if len(act_history) >= 4 and c - act_history[-4] < t.t_faw:
+                    bad(c, "tFAW", f"{c - act_history[-4]} < {t.t_faw}")
+                act_history.append(c)
+                if len(act_history) > 8:
+                    del act_history[:-4]
+                bank.open_row = rec.row
+                bank.last_act = c
+                bank.pre_ok = c + t.t_ras
+                last_act_any = c
+
+            elif cmd in (Command.READ, Command.WRITE):
+                bank = banks[rec.bank]
+                if bank.open_row == NO_OPEN_ROW:
+                    bad(c, "state", f"{cmd.value} to closed bank {rec.bank}")
+                elif bank.open_row != rec.row:
+                    bad(
+                        c,
+                        "state",
+                        f"{cmd.value} row {rec.row} but bank {rec.bank} has "
+                        f"row {bank.open_row} open",
+                    )
+                if c - bank.last_act < t.t_rcd:
+                    bad(c, "tRCD", f"bank {rec.bank}: {c - bank.last_act} < {t.t_rcd}")
+                if cmd is Command.READ:
+                    if c < last_write_data_end + t.t_wtr:
+                        bad(c, "tWTR", f"read at {c} < write data end "
+                                       f"{last_write_data_end} + {t.t_wtr}")
+                    data_start = c + t.cas_latency
+                    data_end = data_start + t.burst_cycles
+                    last_read_data_end = data_end
+                    bank.pre_ok = max(bank.pre_ok, c + t.burst_cycles)
+                else:
+                    data_start = c + t.write_latency
+                    data_end = data_start + t.burst_cycles
+                    if data_start < last_read_data_end + t.t_rtw_gap:
+                        bad(c, "turnaround", f"write data at {data_start} < read "
+                                             f"data end {last_read_data_end} + gap")
+                    last_write_data_end = data_end
+                    bank.pre_ok = max(bank.pre_ok, data_end + t.t_wr)
+                if data_start < bus_busy_until:
+                    bad(c, "data-bus", f"burst at {data_start} overlaps previous "
+                                       f"(busy until {bus_busy_until})")
+                bus_busy_until = max(bus_busy_until, data_end)
+
+            elif cmd is Command.PRECHARGE:
+                bank = banks[rec.bank]
+                if bank.open_row == NO_OPEN_ROW:
+                    bad(c, "state", f"PRE to already-closed bank {rec.bank}")
+                if c < bank.pre_ok:
+                    bad(c, "tRAS/tWR", f"bank {rec.bank}: precharge at {c} < {bank.pre_ok}")
+                bank.open_row = NO_OPEN_ROW
+                bank.last_pre = c
+
+            elif cmd is Command.PRECHARGE_ALL:
+                for i, bank in enumerate(banks):
+                    if bank.open_row != NO_OPEN_ROW:
+                        if c < bank.pre_ok:
+                            bad(c, "tRAS/tWR", f"PREA: bank {i} at {c} < {bank.pre_ok}")
+                        bank.open_row = NO_OPEN_ROW
+                        bank.last_pre = c
+
+            elif cmd is Command.REFRESH:
+                for i, bank in enumerate(banks):
+                    if bank.open_row != NO_OPEN_ROW:
+                        bad(c, "state", f"REF with bank {i} open")
+                    if c - bank.last_pre < t.t_rp and bank.last_pre > -(10**8):
+                        bad(c, "tRP", f"REF: bank {i} precharged {c - bank.last_pre} "
+                                      f"< {t.t_rp} ago")
+                ref_busy_until = c + t.t_rfc
+                for bank in banks:
+                    bank.last_act = max(bank.last_act, -(10**9))
+
+            elif cmd is Command.POWER_DOWN_ENTER:
+                if powered_down_since is not None:
+                    bad(c, "power-down", "nested power-down entry")
+                powered_down_since = c
+
+            elif cmd is Command.POWER_DOWN_EXIT:
+                if powered_down_since is None:
+                    bad(c, "power-down", "exit without entry")
+                elif c - powered_down_since < t.t_cke:
+                    bad(c, "tCKE", f"residency {c - powered_down_since} < {t.t_cke}")
+                powered_down_since = None
+                pd_exit_ok = c + t.t_xp
+
+            else:  # pragma: no cover - exhaustive
+                raise ConfigurationError(f"unknown command {cmd!r}")
+
+            if cmd not in (Command.POWER_DOWN_ENTER, Command.POWER_DOWN_EXIT):
+                last_cmd_cycle = c
+
+        return violations
+
+    def assert_clean(self, log: Sequence[CommandRecord]) -> None:
+        """Raise :class:`ConfigurationError` listing the first few
+        violations if the stream is not protocol-clean."""
+        violations = self.check(log)
+        if violations:
+            head = "; ".join(str(v) for v in violations[:5])
+            raise ConfigurationError(
+                f"{len(violations)} protocol violation(s): {head}"
+            )

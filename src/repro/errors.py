@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+A small, explicit hierarchy so callers can distinguish configuration
+mistakes (their fault, fix the config) from internal protocol violations
+(our fault, a simulator bug worth reporting).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulator, DRAM or use-case configuration was supplied.
+
+    Raised eagerly at construction time: a configuration object that
+    exists is a configuration that can be simulated.
+    """
+
+
+class AddressError(ReproError):
+    """An address fell outside the modelled memory capacity or was
+    otherwise impossible to decode with the configured mapping."""
+
+
+class ProtocolError(ReproError):
+    """A DRAM command sequence violated the device protocol.
+
+    For example reading from a bank with no open row under a policy
+    that should have activated it first.  Seeing this exception means
+    there is a bug in the controller model, not in user code.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file line could not be parsed."""

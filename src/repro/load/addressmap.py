@@ -1,0 +1,94 @@
+"""Layout of the use-case buffers in the global address space.
+
+The load model streams through named frame buffers (sensor images,
+YUV intermediates, reference frames, bitstreams).  This module places
+them contiguously in the interleaved global address space, aligned so
+that every buffer starts on a fresh DRAM row in every channel --
+matching how a real driver would place large frame buffers and keeping
+the row-locality behaviour well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import AddressError, ConfigurationError
+from repro.usecase.pipeline import BufferSpec
+
+#: Buffers are aligned to this many bytes: a 4 KB DRAM row in each of
+#: up to eight interleaved channels.
+BUFFER_ALIGN = 4096 * 8
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+@dataclass(frozen=True)
+class Region:
+    """One buffer's placement in the global address space."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.base + self.size
+
+    def offset_address(self, offset: int) -> int:
+        """Global address of byte ``offset`` within the region, with
+        wrap-around (streams larger than the buffer wrap, modelling
+        repeated passes over the same frame)."""
+        if self.size <= 0:
+            raise AddressError(f"region {self.name!r} is empty")
+        return self.base + (offset % self.size)
+
+
+class AddressMap:
+    """Contiguous, aligned placement of a set of buffers."""
+
+    def __init__(
+        self, buffers: Sequence[BufferSpec], base: int = 0, align: int = BUFFER_ALIGN
+    ) -> None:
+        if align <= 0 or align % 16:
+            raise ConfigurationError(
+                f"alignment must be a positive multiple of 16, got {align}"
+            )
+        if base < 0 or base % align:
+            raise ConfigurationError(
+                f"base must be a non-negative multiple of the alignment, got {base}"
+            )
+        names = [b.name for b in buffers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate buffer names: {names}")
+
+        self._regions: Dict[str, Region] = {}
+        cursor = base
+        for buf in buffers:
+            size = _align_up(buf.size_bytes, 16)
+            self._regions[buf.name] = Region(name=buf.name, base=cursor, size=size)
+            cursor = _align_up(cursor + size, align)
+        self.total_span = cursor
+
+    def region(self, name: str) -> Region:
+        """Look up a buffer's placement by name."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise AddressError(
+                f"unknown buffer {name!r}; have {sorted(self._regions)}"
+            ) from None
+
+    def regions(self) -> List[Region]:
+        """All regions in layout order."""
+        return sorted(self._regions.values(), key=lambda r: r.base)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def fits_in(self, capacity_bytes: int) -> bool:
+        """Whether the layout fits the memory system's capacity."""
+        return self.total_span <= capacity_bytes

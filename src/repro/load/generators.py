@@ -1,0 +1,112 @@
+"""Synthetic traffic generators.
+
+Baselines for characterising the memory system independently of the
+video use case: pure sequential streaming (the best case the paper's
+workload approaches), strided access, uniform random access (the
+row-locality worst case) and alternating read/write streams (isolating
+the turnaround cost).  Used by unit tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.controller.request import MasterTransaction, Op
+from repro.errors import ConfigurationError
+
+
+def _check_positive(**kwargs: int) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def sequential_stream(
+    total_bytes: int,
+    block_bytes: int = 4096,
+    op: Op = Op.READ,
+    base_address: int = 0,
+) -> List[MasterTransaction]:
+    """A single sequential stream of ``total_bytes``."""
+    _check_positive(total_bytes=total_bytes, block_bytes=block_bytes)
+    if base_address < 0:
+        raise ConfigurationError(f"base_address must be >= 0, got {base_address}")
+    out = []
+    addr = base_address
+    remaining = total_bytes
+    while remaining > 0:
+        size = min(block_bytes, remaining)
+        out.append(MasterTransaction(op, addr, size))
+        addr += size
+        remaining -= size
+    return out
+
+
+def strided_stream(
+    accesses: int,
+    stride_bytes: int,
+    access_bytes: int = 64,
+    op: Op = Op.READ,
+    base_address: int = 0,
+) -> List[MasterTransaction]:
+    """Fixed-stride accesses (e.g. column walks through a frame)."""
+    _check_positive(
+        accesses=accesses, stride_bytes=stride_bytes, access_bytes=access_bytes
+    )
+    return [
+        MasterTransaction(op, base_address + i * stride_bytes, access_bytes)
+        for i in range(accesses)
+    ]
+
+
+def random_stream(
+    accesses: int,
+    span_bytes: int,
+    access_bytes: int = 64,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+) -> List[MasterTransaction]:
+    """Uniformly random accesses over ``span_bytes``.
+
+    The row-locality worst case: with a 4 KB row and 64-byte accesses
+    almost every access opens a new row.
+    """
+    _check_positive(accesses=accesses, span_bytes=span_bytes, access_bytes=access_bytes)
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigurationError(
+            f"read_fraction must be in [0, 1], got {read_fraction}"
+        )
+    if span_bytes < access_bytes:
+        raise ConfigurationError("span must be at least one access long")
+    rng = random.Random(seed)
+    top = (span_bytes - access_bytes) // 16
+    out = []
+    for _ in range(accesses):
+        addr = rng.randint(0, top) * 16
+        op = Op.READ if rng.random() < read_fraction else Op.WRITE
+        out.append(MasterTransaction(op, addr, access_bytes))
+    return out
+
+
+def alternating_rw_stream(
+    pairs: int,
+    block_bytes: int = 4096,
+    read_base: int = 0,
+    write_base: int = None,
+) -> List[MasterTransaction]:
+    """Strictly alternating read/write blocks from two regions.
+
+    Isolates the bus-turnaround overhead: every transaction switches
+    direction.  ``write_base`` defaults to just past the read region.
+    """
+    _check_positive(pairs=pairs, block_bytes=block_bytes)
+    if write_base is None:
+        write_base = read_base + pairs * block_bytes
+    out = []
+    for i in range(pairs):
+        out.append(MasterTransaction(Op.READ, read_base + i * block_bytes, block_bytes))
+        out.append(
+            MasterTransaction(Op.WRITE, write_base + i * block_bytes, block_bytes)
+        )
+    return out

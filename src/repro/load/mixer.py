@@ -1,0 +1,105 @@
+"""Merging several masters' transaction streams into one memory load.
+
+The paper notes that "the system rarely runs only a single use case" —
+its margins exist precisely because other masters (UI composition,
+audio DSP, networking) share the execution memory.  This module merges
+independent transaction streams into the single program-order stream a
+shared (non-clustered) memory sees:
+
+- **backlogged streams** (all arrivals zero) are interleaved
+  round-robin at transaction granularity, modelling fair arbitration
+  between always-ready masters;
+- **timed streams** are merge-sorted by arrival, modelling masters
+  that inject on their own schedules.
+
+Each master's buffers must live at disjoint addresses; callers place
+them with ``base_address`` offsets (see the cluster benchmark for the
+pattern).  The merged stream is what the monolithic alternative to
+channel clusters has to serve.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence
+
+from repro.controller.request import MasterTransaction
+from repro.errors import ConfigurationError
+
+
+def interleave_backlogged(
+    streams: Sequence[Sequence[MasterTransaction]],
+) -> List[MasterTransaction]:
+    """Round-robin merge of backlogged (arrival-free) streams.
+
+    Models fair arbitration: each ready master gets one transaction
+    per round.  Streams of different lengths simply drop out as they
+    exhaust.
+    """
+    if not streams:
+        raise ConfigurationError("need at least one stream")
+    for stream in streams:
+        for txn in stream:
+            if txn.arrival_ns != 0.0:
+                raise ConfigurationError(
+                    "interleave_backlogged is for arrival-free streams; "
+                    "use merge_by_arrival for timed streams"
+                )
+    merged: List[MasterTransaction] = []
+    indices = [0] * len(streams)
+    remaining = sum(len(s) for s in streams)
+    while remaining:
+        for i, stream in enumerate(streams):
+            if indices[i] < len(stream):
+                merged.append(stream[indices[i]])
+                indices[i] += 1
+                remaining -= 1
+    return merged
+
+
+def merge_by_arrival(
+    streams: Sequence[Sequence[MasterTransaction]],
+) -> List[MasterTransaction]:
+    """Merge timed streams into one arrival-ordered stream.
+
+    Within one master the program order is preserved even when its
+    arrival stamps tie; across masters, earlier arrival goes first
+    (ties broken by master index, keeping the merge deterministic).
+    """
+    if not streams:
+        raise ConfigurationError("need at least one stream")
+    heap = []
+    for i, stream in enumerate(streams):
+        if stream:
+            heap.append((stream[0].arrival_ns, i, 0))
+    heapq.heapify(heap)
+    merged: List[MasterTransaction] = []
+    while heap:
+        arrival, i, k = heapq.heappop(heap)
+        merged.append(streams[i][k])
+        if k + 1 < len(streams[i]):
+            heapq.heappush(heap, (streams[i][k + 1].arrival_ns, i, k + 1))
+    return merged
+
+
+def streams_overlap(
+    streams: Sequence[Sequence[MasterTransaction]],
+) -> bool:
+    """Whether any two streams touch overlapping address ranges.
+
+    A cheap bounding-box check (min/max address per stream): masters
+    sharing a memory must not alias each other's buffers, and the
+    cluster comparison benchmarks assert this before merging.
+    """
+    boxes = []
+    for stream in streams:
+        if not stream:
+            continue
+        lo = min(t.address for t in stream)
+        hi = max(t.end_address for t in stream)
+        boxes.append((lo, hi))
+    boxes.sort()
+    for (_, hi_a), (lo_b, _) in zip(boxes, boxes[1:]):
+        if lo_b < hi_a:
+            return True
+    return False

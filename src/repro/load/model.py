@@ -1,0 +1,225 @@
+"""The video-recording load model: the Fig. 2 state machine.
+
+Section III: *"Within the load model, the processing chain of the
+video recording is described as a state machine.  Each state results
+in memory access requests."*  and *"[the use case] represents very
+regular and foreseeable memory access behaviour, i.e., it needs
+relatively large data amounts resulting in several memory accesses to
+sequential memory locations."*
+
+This class walks the :class:`~repro.usecase.pipeline.VideoRecordingUseCase`
+stages in order and emits master transactions:
+
+- each stage streams **sequentially** through its source and
+  destination buffers,
+- reads and writes interleave at a configurable *block* granularity
+  (a stage consumes a block of input lines, processes them in cache,
+  and emits a block of output -- the classic line-buffer structure of
+  camera pipelines),
+- stages with several read sources (the encoder's reference frames)
+  rotate between them block by block, the way motion estimation sweeps
+  all references per macroblock row,
+- streams larger than their buffer wrap around (the encoder reads each
+  reference frame ``encoder_factor`` times over).
+
+A ``scale`` argument emits only that fraction of every stage's
+traffic, preserving the read/write mix, block structure and buffer
+addresses; see :mod:`repro.load.scaling` for why that is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.controller.request import MasterTransaction, Op
+from repro.errors import ConfigurationError
+from repro.load.addressmap import AddressMap, Region
+from repro.usecase.pipeline import StageTraffic, VideoRecordingUseCase
+
+#: Default read/write interleave block: 4 KB, i.e. a handful of video
+#: lines -- the calibrated stage-processing granularity (EXPERIMENTS.md).
+DEFAULT_BLOCK_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate statistics of a generated transaction stream.
+
+    Feeds the analytic model and the experiment reports.
+    """
+
+    total_bytes: int
+    read_bytes: int
+    write_bytes: int
+    transactions: int
+    rw_switches: int
+
+    @property
+    def read_fraction(self) -> float:
+        """Read share of the traffic."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.read_bytes / self.total_bytes
+
+
+class VideoRecordingLoadModel:
+    """Generates master transactions for the video-recording use case."""
+
+    def __init__(
+        self,
+        use_case: VideoRecordingUseCase,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        base_address: int = 0,
+    ) -> None:
+        if block_bytes < 16 or block_bytes % 16:
+            raise ConfigurationError(
+                f"block_bytes must be a positive multiple of 16, got {block_bytes}"
+            )
+        self.use_case = use_case
+        self.block_bytes = block_bytes
+        self.address_map = AddressMap(use_case.buffers(), base=base_address)
+        self._cursors: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+
+    def generate_frame(self, scale: float = 1.0) -> List[MasterTransaction]:
+        """Emit the master transactions of (a fraction of) one frame."""
+        if not 0.0 < scale <= 1.0:
+            raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+        self._cursors.clear()
+        transactions: List[MasterTransaction] = []
+        for stage in self.use_case.stages():
+            transactions.extend(self._stage_transactions(stage, scale))
+        return transactions
+
+    def generate_frames(self, frames: int, scale: float = 1.0) -> List[MasterTransaction]:
+        """Emit several consecutive frames' traffic (steady-state runs)."""
+        if frames < 1:
+            raise ConfigurationError(f"frames must be >= 1, got {frames}")
+        out: List[MasterTransaction] = []
+        for _ in range(frames):
+            out.extend(self.generate_frame(scale=scale))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _stage_transactions(
+        self, stage: StageTraffic, scale: float
+    ) -> Iterator[MasterTransaction]:
+        """Emit one stage's traffic as block-interleaved reads/writes."""
+        read_plan = self._scaled_plan(stage.reads, scale)
+        write_plan = self._scaled_plan(stage.writes, scale)
+        total_read = sum(size for _, size in read_plan)
+        total_write = sum(size for _, size in write_plan)
+        if total_read == 0 and total_write == 0:
+            return
+        biggest = max(total_read, total_write)
+        n_blocks = max(1, -(-biggest // self.block_bytes))  # ceil div
+
+        read_iter = self._block_iter(stage.name, read_plan, total_read, n_blocks)
+        write_iter = self._block_iter(stage.name, write_plan, total_write, n_blocks)
+        for _ in range(n_blocks):
+            for addr, size in next(read_iter):
+                yield MasterTransaction(Op.READ, addr, size)
+            for addr, size in next(write_iter):
+                yield MasterTransaction(Op.WRITE, addr, size)
+
+    def _scaled_plan(
+        self, entries: Sequence[Tuple[str, float]], scale: float
+    ) -> List[Tuple[Region, int]]:
+        """Convert (buffer, bits) traffic into (region, bytes), scaled
+        and aligned to 16-byte granules."""
+        plan: List[Tuple[Region, int]] = []
+        for buffer_name, bits in entries:
+            nbytes = int(bits * scale / 8.0)
+            nbytes -= nbytes % 16
+            if nbytes <= 0:
+                continue
+            plan.append((self.address_map.region(buffer_name), nbytes))
+        return plan
+
+    def _block_iter(
+        self,
+        stage_name: str,
+        plan: List[Tuple[Region, int]],
+        total: int,
+        n_blocks: int,
+    ) -> Iterator[List[Tuple[int, int]]]:
+        """Yield ``n_blocks`` lists of (address, size) block pieces.
+
+        Splits ``total`` bytes evenly over the blocks (16-byte
+        aligned via an error accumulator), drawing from the plan's
+        sources round-robin and advancing each source's sequential
+        cursor (with wrap-around) in the region.
+        """
+        remaining = [size for _, size in plan]
+        source = 0
+        emitted = 0
+        for block_idx in range(n_blocks):
+            target = (total * (block_idx + 1)) // n_blocks
+            want = target - emitted
+            want -= want % 16
+            pieces: List[Tuple[int, int]] = []
+            while want > 0 and plan:
+                # Find the next source with bytes left (round-robin).
+                for _ in range(len(plan)):
+                    if remaining[source] > 0:
+                        break
+                    source = (source + 1) % len(plan)
+                else:
+                    break
+                region, _ = plan[source]
+                take = min(want, remaining[source], self.block_bytes)
+                take -= take % 16
+                if take <= 0:
+                    take = min(want, remaining[source])
+                cursor_key = (stage_name, region.name)
+                offset = self._cursors.get(cursor_key, 0)
+                # Split at wrap boundaries so addresses stay inside the
+                # region (streams smaller than a block may wrap twice).
+                left = take
+                pos = offset
+                while left > 0:
+                    piece = min(left, region.size - (pos % region.size))
+                    pieces.append((region.offset_address(pos), piece))
+                    pos += piece
+                    left -= piece
+                self._cursors[cursor_key] = offset + take
+                remaining[source] -= take
+                emitted += take
+                want -= take
+                source = (source + 1) % len(plan)
+            yield pieces
+        # Exhaust any rounding remainder into a final trailing block.
+        while True:
+            yield []
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def summarize(transactions: Sequence[MasterTransaction]) -> TrafficSummary:
+        """Compute aggregate statistics of a transaction stream."""
+        read_bytes = 0
+        write_bytes = 0
+        switches = 0
+        last_op = None
+        for txn in transactions:
+            if txn.op is Op.READ:
+                read_bytes += txn.size
+            else:
+                write_bytes += txn.size
+            if last_op is not None and txn.op is not last_op:
+                switches += 1
+            last_op = txn.op
+        return TrafficSummary(
+            total_bytes=read_bytes + write_bytes,
+            read_bytes=read_bytes,
+            write_bytes=write_bytes,
+            transactions=len(transactions),
+            rw_switches=switches,
+        )
+
+    def frame_bytes(self, scale: float = 1.0) -> float:
+        """Expected bytes per (scaled) frame from the use-case model."""
+        return self.use_case.total_bytes_per_frame() * scale

@@ -1,0 +1,52 @@
+"""Fractional-workload scaling.
+
+A full HD frame moves tens of megabytes -- millions of 16-byte bursts
+-- and the experiments sweep dozens of configurations.  Because the
+use-case traffic is *statistically uniform over a frame* (the paper:
+"very regular and foreseeable memory access behaviour"), simulating a
+fraction of every stage's traffic and dividing the measured time by
+the fraction estimates the full-frame access time with sub-percent
+error: the row-hit rate, read/write mix, refresh duty and interconnect
+exposure are all rate-based and invariant under the scaling.  The test
+``tests/load/test_scaling.py`` pins that linearity.
+
+:func:`choose_scale` picks the largest power-of-two-denominator scale
+keeping a workload under a burst budget, so experiments stay fast by
+default while remaining exact (``scale=1``) on request.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Default simulated-burst budget per run: keeps a full experiment
+#: sweep in seconds of wall-clock on a laptop-class machine.
+DEFAULT_CHUNK_BUDGET = 400_000
+
+#: Smallest scale :func:`choose_scale` will return; below this the
+#: per-stage traffic gets too small for stable statistics.
+MIN_SCALE = 1.0 / 256.0
+
+
+def choose_scale(
+    workload_bytes: float, chunk_budget: int = DEFAULT_CHUNK_BUDGET
+) -> float:
+    """Pick a simulation scale for a workload of ``workload_bytes``.
+
+    Returns 1.0 when the workload already fits the budget, otherwise
+    the largest ``1/2**k`` that brings the simulated burst count under
+    ``chunk_budget`` (floored at :data:`MIN_SCALE`).
+    """
+    if workload_bytes <= 0:
+        raise ConfigurationError(
+            f"workload_bytes must be positive, got {workload_bytes}"
+        )
+    if chunk_budget < 1000:
+        raise ConfigurationError(
+            f"chunk_budget must be at least 1000, got {chunk_budget}"
+        )
+    chunks = workload_bytes / 16.0
+    scale = 1.0
+    while chunks * scale > chunk_budget and scale > MIN_SCALE:
+        scale /= 2.0
+    return max(scale, MIN_SCALE)

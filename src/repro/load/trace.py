@@ -1,0 +1,87 @@
+"""Trace file format: persisting and replaying transaction streams.
+
+A plain-text, one-transaction-per-line format in the style of the
+standard DRAM-simulator trace inputs (Ramulator/DRAMSim style, adapted
+to sized block transfers)::
+
+    # comment
+    R 0x00001000 4096 0
+    W 0x00002000 4096 0
+
+Fields: operation (``R``/``W``), hexadecimal or decimal byte address,
+size in bytes, and the arrival time in nanoseconds (optional, default
+zero = backlogged).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.controller.request import MasterTransaction, Op
+from repro.errors import TraceFormatError
+
+PathLike = Union[str, Path]
+
+_OPS = {"R": Op.READ, "W": Op.WRITE}
+_OP_NAMES = {Op.READ: "R", Op.WRITE: "W"}
+
+
+def write_trace(path: PathLike, transactions: Iterable[MasterTransaction]) -> int:
+    """Write a transaction stream to ``path``; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro trace v1: op address size arrival_ns\n")
+        for txn in transactions:
+            if txn.arrival_ns:
+                # repr() round-trips floats exactly; %g would truncate
+                # paced arrival stamps to 6 significant digits.
+                handle.write(
+                    f"{_OP_NAMES[txn.op]} {txn.address:#x} {txn.size} "
+                    f"{txn.arrival_ns!r}\n"
+                )
+            else:
+                handle.write(f"{_OP_NAMES[txn.op]} {txn.address:#x} {txn.size}\n")
+            count += 1
+    return count
+
+
+def parse_trace_line(line: str, lineno: int = 0) -> MasterTransaction:
+    """Parse one trace line into a transaction."""
+    fields = line.split()
+    if len(fields) not in (3, 4):
+        raise TraceFormatError(
+            f"line {lineno}: expected 'op address size [arrival_ns]', got {line!r}"
+        )
+    op_name = fields[0].upper()
+    if op_name not in _OPS:
+        raise TraceFormatError(
+            f"line {lineno}: unknown operation {fields[0]!r} (expected R or W)"
+        )
+    try:
+        address = int(fields[1], 0)
+        size = int(fields[2], 0)
+        arrival = float(fields[3]) if len(fields) == 4 else 0.0
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    try:
+        return MasterTransaction(
+            op=_OPS[op_name], address=address, size=size, arrival_ns=arrival
+        )
+    except Exception as exc:
+        raise TraceFormatError(f"line {lineno}: {exc}") from exc
+
+
+def read_trace(path: PathLike) -> List[MasterTransaction]:
+    """Read a trace file back into a transaction list.
+
+    Blank lines and ``#`` comments are ignored.
+    """
+    transactions: List[MasterTransaction] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            transactions.append(parse_trace_line(line, lineno))
+    return transactions

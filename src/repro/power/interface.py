@@ -1,0 +1,89 @@
+"""Equation (1): chip-to-chip interface power.
+
+Section III: *"the analysis assumes the estimate for the interface
+power per channel as*
+
+    interface power = nr_of_pins x C x V^2 x f_clk x activity  (1)
+
+*The number of pins toggling during a burst ... is assumed to be 36
+(data bus and data strobe signals).  For the capacitance value ... the
+expected value for 3D chip-to-chip connection is 0.4 pF ...  The
+voltage V is the I/O voltage, estimated for next generation devices as
+1.2 V. ... activity is fixed to be 50 %.  As an example, with 400 MHz
+clock frequency, these assumptions result in the approximate interface
+power of 5 mW per channel."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InterfaceParameters:
+    """Parameters of equation (1), defaulting to the paper's values."""
+
+    #: Pins toggling during a burst: 32 data + 4 data-strobe signals.
+    pins: int = 36
+    #: Per-pin load capacitance, farads: the 0.4 pF average of the
+    #: 3D bonding techniques surveyed in the paper's reference [17].
+    capacitance_f: float = 0.4e-12
+    #: I/O supply voltage, volts (projected 1.2 V).
+    voltage_v: float = 1.2
+    #: Switching activity factor (fixed at 50 %).
+    activity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.pins <= 0:
+            raise ConfigurationError(f"pins must be positive, got {self.pins}")
+        if self.capacitance_f <= 0:
+            raise ConfigurationError(
+                f"capacitance must be positive, got {self.capacitance_f}"
+            )
+        if self.voltage_v <= 0:
+            raise ConfigurationError(
+                f"voltage must be positive, got {self.voltage_v}"
+            )
+        if not 0.0 <= self.activity <= 1.0:
+            raise ConfigurationError(
+                f"activity must be in [0, 1], got {self.activity}"
+            )
+
+
+#: The paper's parameter set.
+PAPER_INTERFACE = InterfaceParameters()
+
+
+def interface_power_w(
+    freq_mhz: float, params: InterfaceParameters = PAPER_INTERFACE
+) -> float:
+    """Interface power of one active channel, watts (equation (1)).
+
+    About 4.1 mW at 400 MHz with the paper's parameters (quoted there
+    as "approximately 5 mW").
+    """
+    if freq_mhz <= 0:
+        raise ConfigurationError(f"frequency must be positive, got {freq_mhz}")
+    return (
+        params.pins
+        * params.capacitance_f
+        * params.voltage_v**2
+        * freq_mhz
+        * 1e6
+        * params.activity
+    )
+
+
+def interface_energy_j(
+    freq_mhz: float, active_ns: float, params: InterfaceParameters = PAPER_INTERFACE
+) -> float:
+    """Interface energy over ``active_ns`` of channel activity, joules.
+
+    Power-down gates the interface clock, so only the active window is
+    charged.
+    """
+    if active_ns < 0:
+        raise ConfigurationError(f"active time must be >= 0, got {active_ns}")
+    return interface_power_w(freq_mhz, params) * active_ns * 1e-9

@@ -1,0 +1,139 @@
+"""Frame-average power assembly: the Fig. 5 metric.
+
+Fig. 5 reports the average power of the memory subsystem while
+sustaining one frame period of the recording use case, with the
+interface power (equation (1)) stacked on top of the DRAM power.  The
+average combines:
+
+- the **busy window**: the simulated access time, with the energy the
+  power model integrated from the channel's commands and states, plus
+  interface energy (the interface clock runs while the channel is
+  active);
+- the **idle remainder** of the frame period: the controller
+  precharges and powers the cluster down between frames (the paper's
+  aggressive power-down assumption), burning precharge power-down
+  current plus the periodic refresh energy; the interface clock is
+  gated.
+
+When the access time exceeds the frame period there is no idle window
+and the average is taken over the access time itself; the experiment
+layer separately flags such configurations as real-time failures
+(Fig. 5 draws them as zero-height bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import SystemConfig
+from repro.core.results import SimulationResult
+from repro.dram.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.power.interface import (
+    PAPER_INTERFACE,
+    InterfaceParameters,
+    interface_power_w,
+)
+
+
+@dataclass(frozen=True)
+class FramePowerReport:
+    """Average power of one configuration over one frame period."""
+
+    #: DRAM core power averaged over the frame period, watts.
+    dram_power_w: float
+    #: Interface power averaged over the frame period, watts.
+    interface_power_w: float
+    #: Frame access time, ms (full workload).
+    access_time_ms: float
+    #: The frame period the average is taken over, ms.
+    frame_period_ms: float
+    #: Energy per frame, joules (DRAM + interface).
+    energy_per_frame_j: float
+
+    @property
+    def total_power_w(self) -> float:
+        """DRAM + interface power, watts."""
+        return self.dram_power_w + self.interface_power_w
+
+    @property
+    def total_power_mw(self) -> float:
+        """Total power in milliwatts (Fig. 5's unit)."""
+        return self.total_power_w * 1e3
+
+    @property
+    def meets_realtime(self) -> bool:
+        """Whether the access time fits the frame period at all."""
+        return self.access_time_ms <= self.frame_period_ms
+
+    def meets_realtime_with_margin(self, margin: float = 0.15) -> bool:
+        """The paper's feasibility test: access time within the frame
+        period leaving ``margin`` (15 %) for data processing."""
+        if not 0.0 <= margin < 1.0:
+            raise ConfigurationError(f"margin must be in [0, 1), got {margin}")
+        return self.access_time_ms <= self.frame_period_ms * (1.0 - margin)
+
+
+def compute_frame_power(
+    config: SystemConfig,
+    result: SimulationResult,
+    frame_period_ms: float,
+    interface: InterfaceParameters = PAPER_INTERFACE,
+) -> FramePowerReport:
+    """Assemble the Fig. 5 power figure for one simulated frame.
+
+    ``result`` may be a scaled simulation; energies and times are
+    rescaled to the full frame before averaging.
+    """
+    if frame_period_ms <= 0:
+        raise ConfigurationError(
+            f"frame period must be positive, got {frame_period_ms}"
+        )
+    model = PowerModel(config.device, config.freq_mhz)
+    scale = result.scale
+    access_ns = result.access_time_ns
+    frame_ns = frame_period_ms * 1e6
+    window_ns = max(access_ns, frame_ns)
+
+    refresh_interval_ns = config.device.refresh.interval_ns
+    if config.power_down.idles_powered_down:
+        idle_power_w = model.precharge_powerdown_power_w
+        idle_interface = False
+    else:
+        # Without power-down the cluster idles in precharge standby
+        # with its interface clock still running.
+        idle_power_w = model.precharge_standby_power_w
+        idle_interface = True
+    if_power_w = interface_power_w(config.freq_mhz, interface)
+
+    dram_energy_j = 0.0
+    interface_energy_j = 0.0
+    for ch in result.channels:
+        # Busy window, rescaled to the full frame.
+        busy_energy = model.energy(ch.counters, ch.states).total_j / scale
+        busy_ns = ch.finish_ns / scale
+        dram_energy_j += busy_energy
+        # Interface clock is gated while powered down, including
+        # power-down residency *inside* the busy window (paced loads).
+        pd_in_busy_ns = (
+            ch.states.active_powerdown_ns + ch.states.precharge_powerdown_ns
+        ) / scale
+        interface_energy_j += if_power_w * max(0.0, busy_ns - pd_in_busy_ns) * 1e-9
+
+        # Idle remainder: power-down (or standby) plus periodic refresh.
+        idle_ns = max(0.0, window_ns - busy_ns)
+        idle_refreshes = idle_ns / refresh_interval_ns
+        dram_energy_j += idle_power_w * idle_ns * 1e-9
+        dram_energy_j += idle_refreshes * model.refresh_energy_j
+        if idle_interface:
+            interface_energy_j += if_power_w * idle_ns * 1e-9
+
+    window_s = window_ns * 1e-9
+    return FramePowerReport(
+        dram_power_w=dram_energy_j / window_s,
+        interface_power_w=interface_energy_j / window_s,
+        access_time_ms=access_ns / 1e6,
+        frame_period_ms=frame_period_ms,
+        energy_per_frame_j=dram_energy_j + interface_energy_j,
+    )

@@ -1,0 +1,93 @@
+"""Standby power analysis: what the memory costs when nothing records.
+
+A handheld device spends most of its life *not* recording.  The paper's
+conclusions stress that "aggressive use of power-down modes is
+necessary for energy efficient operation with handheld devices"; this
+module quantifies the three standby options for a multi-channel
+memory holding its contents:
+
+- **precharge power-down** (CKE low, clock mostly gated, controller
+  still issuing periodic refreshes),
+- **self refresh** (IDD6: the device refreshes itself, everything
+  else off — the deepest content-preserving state),
+- **precharge standby** (no power management at all, the comparison
+  baseline).
+
+All three scale linearly with the channel count, which is the flip
+side of the multi-channel argument: eight idle channels cost eight
+times one, so idle-state choice matters more, not less, as channels
+multiply — exactly the Section V concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.dram.power import PowerModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StandbyReport:
+    """Idle power of a configuration in each content-preserving state."""
+
+    config_description: str
+    channels: int
+    #: Watts, whole subsystem.
+    self_refresh_w: float
+    precharge_powerdown_w: float
+    precharge_standby_w: float
+
+    @property
+    def best_state_w(self) -> float:
+        """The cheapest content-preserving idle power."""
+        return min(self.self_refresh_w, self.precharge_powerdown_w)
+
+    @property
+    def powerdown_saving(self) -> float:
+        """Fraction of standby power saved by precharge power-down."""
+        if self.precharge_standby_w <= 0:
+            return 0.0
+        return 1.0 - self.precharge_powerdown_w / self.precharge_standby_w
+
+    def summary(self) -> str:
+        """One-line human-readable report (mW)."""
+        return (
+            f"{self.config_description}: self-refresh "
+            f"{self.self_refresh_w * 1e3:.1f} mW, power-down "
+            f"{self.precharge_powerdown_w * 1e3:.1f} mW, standby "
+            f"{self.precharge_standby_w * 1e3:.1f} mW"
+        )
+
+
+def standby_power(config: SystemConfig) -> StandbyReport:
+    """Compute the idle-state power menu for ``config``.
+
+    Self-refresh power comes straight from IDD6 (no external refresh
+    traffic); power-down and standby add the periodic auto-refresh
+    energy the controller must keep issuing.
+    """
+    model = PowerModel(config.device, config.freq_mhz)
+    cur = config.device.currents
+    v = config.device.core_voltage_v
+    v_ref = cur.reference_voltage_v
+    v_factor = (v / v_ref) ** 2
+
+    # IDD6 is a DC current: no frequency scaling, quadratic voltage.
+    self_refresh_per_channel_w = cur.idd6_ma * v_ref * v_factor * 1e-3
+
+    refresh_power_w = (
+        model.refresh_energy_j / (config.device.refresh.interval_ns * 1e-9)
+    )
+    pd_per_channel_w = model.precharge_powerdown_power_w + refresh_power_w
+    standby_per_channel_w = model.precharge_standby_power_w + refresh_power_w
+
+    m = config.channels
+    return StandbyReport(
+        config_description=config.describe(),
+        channels=m,
+        self_refresh_w=m * self_refresh_per_channel_w,
+        precharge_powerdown_w=m * pd_per_channel_w,
+        precharge_standby_w=m * standby_per_channel_w,
+    )

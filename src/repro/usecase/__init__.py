@@ -1,0 +1,67 @@
+"""The video-recording use case (Section II, Fig. 1, Table I).
+
+Models the complete camcorder processing chain -- image processing
+(camera interface through display control) and video coding (H.264/AVC
+encoding through memory-card writeout) -- and computes the execution-
+memory traffic each stage generates per frame for the five HD-capable
+H.264/AVC levels.
+
+- :mod:`repro.usecase.formats` -- pixel and frame formats,
+- :mod:`repro.usecase.levels` -- H.264/AVC levels,
+- :mod:`repro.usecase.audio` -- audio stream parameters,
+- :mod:`repro.usecase.pipeline` -- the Fig. 1 stage model,
+- :mod:`repro.usecase.bandwidth` -- the Table I calculator.
+"""
+
+from repro.usecase.formats import (
+    PixelFormat,
+    FrameFormat,
+    FORMAT_720P,
+    FORMAT_1080P,
+    FORMAT_2160P,
+    FORMAT_WVGA,
+)
+from repro.usecase.levels import (
+    FUTURE_LEVELS,
+    H264Level,
+    PAPER_LEVELS,
+    level_by_name,
+)
+from repro.usecase.constraints import (
+    LevelCheck,
+    check_level,
+    check_paper_levels,
+    macroblocks,
+    max_reference_frames,
+)
+from repro.usecase.audio import AudioStream
+from repro.usecase.pipeline import (
+    BufferSpec,
+    StageTraffic,
+    VideoRecordingUseCase,
+)
+from repro.usecase.bandwidth import BandwidthTable, compute_table1
+
+__all__ = [
+    "PixelFormat",
+    "FrameFormat",
+    "FORMAT_720P",
+    "FORMAT_1080P",
+    "FORMAT_2160P",
+    "FORMAT_WVGA",
+    "H264Level",
+    "PAPER_LEVELS",
+    "FUTURE_LEVELS",
+    "level_by_name",
+    "LevelCheck",
+    "check_level",
+    "check_paper_levels",
+    "macroblocks",
+    "max_reference_frames",
+    "AudioStream",
+    "BufferSpec",
+    "StageTraffic",
+    "VideoRecordingUseCase",
+    "BandwidthTable",
+    "compute_table1",
+]

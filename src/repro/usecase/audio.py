@@ -1,0 +1,39 @@
+"""Audio stream parameters.
+
+The recording chain multiplexes the encoded video with an audio
+bitstream (Fig. 1's ``A Mbits/s`` arrows).  The paper never states the
+audio rate because it is negligible next to the video; we default to a
+192 kb/s stereo AAC-class stream, typical for 2009 camcorders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AudioStream:
+    """Encoded audio stream accompanying the video."""
+
+    #: Output bitrate, Mb/s.
+    bitrate_mbps: float = 0.192
+    #: Sample rate, Hz (informational).
+    sample_rate_hz: int = 48_000
+    #: Channel count (informational).
+    channels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bitrate_mbps <= 0:
+            raise ConfigurationError(
+                f"audio bitrate must be positive, got {self.bitrate_mbps}"
+            )
+        if self.sample_rate_hz <= 0 or self.channels <= 0:
+            raise ConfigurationError("sample rate and channels must be positive")
+
+    def bits_per_frame(self, fps: float) -> float:
+        """Audio bits accumulated during one video frame period."""
+        if fps <= 0:
+            raise ConfigurationError(f"fps must be positive, got {fps}")
+        return self.bitrate_mbps * 1e6 / fps

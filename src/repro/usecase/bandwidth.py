@@ -1,0 +1,131 @@
+"""The Table I calculator.
+
+Regenerates the paper's Table I -- "memory bandwidth requirement for
+the stages of the video recording use case" -- for any set of
+H.264/AVC levels: one column per level, one row per Fig. 1 stage, with
+the image-processing / video-coding subtotals and the per-frame,
+per-second and MB/s totals the prose quotes (1.9 GB/s for 720p30,
+4.3 GB/s for 1080p30, 8.6 GB/s for 1080p60).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.usecase.levels import H264Level, PAPER_LEVELS
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+@dataclass(frozen=True)
+class BandwidthColumn:
+    """One Table I column: a level and its per-stage traffic."""
+
+    level: H264Level
+    #: Stage name -> bits per frame, in pipeline order.
+    stage_bits: Tuple[Tuple[str, float], ...]
+    image_total_bits: float
+    coding_total_bits: float
+
+    @property
+    def frame_total_bits(self) -> float:
+        """Data memory load for one frame, bits."""
+        return self.image_total_bits + self.coding_total_bits
+
+    @property
+    def second_total_bits(self) -> float:
+        """Data memory load for one second, bits."""
+        return self.frame_total_bits * self.level.fps
+
+    @property
+    def bandwidth_mb_per_s(self) -> float:
+        """Data memory load in decimal MB/s (Table I's bottom row)."""
+        return self.second_total_bits / 8.0 / 1e6
+
+    @property
+    def bandwidth_gb_per_s(self) -> float:
+        """Data memory load in decimal GB/s (the prose's unit)."""
+        return self.bandwidth_mb_per_s / 1e3
+
+
+@dataclass(frozen=True)
+class BandwidthTable:
+    """The full Table I: one column per level."""
+
+    columns: Tuple[BandwidthColumn, ...]
+
+    def column_for(self, level_name: str) -> BandwidthColumn:
+        """Fetch a column by level designation (e.g. ``"3.1"``)."""
+        for col in self.columns:
+            if col.level.name == level_name:
+                return col
+        raise ConfigurationError(
+            f"no column for level {level_name!r}; have "
+            f"{[c.level.name for c in self.columns]}"
+        )
+
+    def stage_names(self) -> List[str]:
+        """Stage row labels in pipeline order."""
+        return [name for name, _ in self.columns[0].stage_bits]
+
+    def as_rows(self) -> List[List[str]]:
+        """Render as text rows for the report formatter.
+
+        Traffic cells are in Mb (decimal megabits) per frame, matching
+        the paper's "numbers in bits per frame ... (M = 10^6)" header.
+        """
+        header = ["Stage"] + [c.level.column_title for c in self.columns]
+        rows: List[List[str]] = [header]
+        for idx, name in enumerate(self.stage_names()):
+            row = [name]
+            for col in self.columns:
+                row.append(f"{col.stage_bits[idx][1] / 1e6:.2f}")
+            rows.append(row)
+        rows.append(
+            ["Image proc. total (1 frame) [Mb]"]
+            + [f"{c.image_total_bits / 1e6:.1f}" for c in self.columns]
+        )
+        rows.append(
+            ["Video coding total (1 frame) [Mb]"]
+            + [f"{c.coding_total_bits / 1e6:.1f}" for c in self.columns]
+        )
+        rows.append(
+            ["Data Mem. load (1 frame) [Mb]"]
+            + [f"{c.frame_total_bits / 1e6:.1f}" for c in self.columns]
+        )
+        rows.append(
+            ["Data Mem. load (1 s) [Mb]"]
+            + [f"{c.second_total_bits / 1e6:.0f}" for c in self.columns]
+        )
+        rows.append(
+            ["Data Mem. load [MB/s]"]
+            + [f"{c.bandwidth_mb_per_s:.0f}" for c in self.columns]
+        )
+        return rows
+
+
+def compute_table1(
+    levels: Sequence[H264Level] = PAPER_LEVELS, **use_case_kwargs
+) -> BandwidthTable:
+    """Compute Table I for ``levels`` (default: the paper's five).
+
+    Extra keyword arguments are forwarded to
+    :class:`~repro.usecase.pipeline.VideoRecordingUseCase`, so a caller
+    can, e.g., sweep the digizoom factor or encoder constant.
+    """
+    if not levels:
+        raise ConfigurationError("need at least one level")
+    columns = []
+    for level in levels:
+        use_case = VideoRecordingUseCase(level, **use_case_kwargs)
+        stage_bits = tuple((s.name, s.total_bits) for s in use_case.stages())
+        columns.append(
+            BandwidthColumn(
+                level=level,
+                stage_bits=stage_bits,
+                image_total_bits=use_case.image_processing_bits_per_frame(),
+                coding_total_bits=use_case.video_coding_bits_per_frame(),
+            )
+        )
+    return BandwidthTable(columns=tuple(columns))

@@ -1,0 +1,122 @@
+"""H.264/AVC level-limit validation.
+
+The standard (the paper's reference [1]) caps, per level, the frame
+size in macroblocks, the macroblock throughput, the decoded-picture-
+buffer (DPB) size and the video bitrate.  This module encodes the
+limits for the levels the paper evaluates and validates the use-case
+parameters against them.
+
+Besides catching invalid configurations, the DPB check independently
+corroborates the reproduction's calibration: at 1920x1088 the level-4
+DPB holds *exactly four* reference frames — the same number the
+bandwidth anchors demanded (DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.usecase.levels import H264Level
+
+#: Macroblock edge in pixels.
+MB_PIXELS = 16
+
+#: H.264 Annex A limits per level: (MaxMBPS [MB/s], MaxFS [MBs],
+#: MaxDpbMbs [MBs], MaxBR [kbit/s, Baseline/Main VCL]).
+LEVEL_LIMITS: Dict[str, Tuple[int, int, int, int]] = {
+    "3.1": (108_000, 3_600, 18_000, 14_000),
+    "3.2": (216_000, 5_120, 20_480, 20_000),
+    "4": (245_760, 8_192, 32_768, 20_000),
+    "4.1": (245_760, 8_192, 32_768, 50_000),
+    "4.2": (522_240, 8_704, 34_816, 50_000),
+    "5": (589_824, 22_080, 110_400, 135_000),
+    "5.1": (983_040, 36_864, 184_320, 240_000),
+    "5.2": (2_073_600, 36_864, 184_320, 240_000),
+}
+
+#: The standard's hard cap on reference frames regardless of DPB.
+MAX_REFS = 16
+
+
+def macroblocks(width: int, height: int) -> int:
+    """Macroblock count of a frame (ceiling division per axis)."""
+    if width <= 0 or height <= 0:
+        raise ConfigurationError("dimensions must be positive")
+    return ((width + MB_PIXELS - 1) // MB_PIXELS) * (
+        (height + MB_PIXELS - 1) // MB_PIXELS
+    )
+
+
+def max_reference_frames(level_name: str, width: int, height: int) -> int:
+    """Largest legal reference count for a raster at a level."""
+    limits = _limits(level_name)
+    frame_mbs = macroblocks(width, height)
+    return max(1, min(MAX_REFS, limits[2] // frame_mbs))
+
+
+@dataclass(frozen=True)
+class LevelCheck:
+    """Outcome of validating a use-case point against its level."""
+
+    level_name: str
+    frame_mbs: int
+    mb_rate: float
+    violations: Tuple[str, ...]
+
+    @property
+    def conformant(self) -> bool:
+        """Whether every level limit is honoured."""
+        return not self.violations
+
+
+def _limits(level_name: str) -> Tuple[int, int, int, int]:
+    try:
+        return LEVEL_LIMITS[level_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no H.264 limits known for level {level_name!r}; have "
+            f"{sorted(LEVEL_LIMITS)}"
+        ) from None
+
+
+def check_level(level: H264Level) -> LevelCheck:
+    """Validate an :class:`H264Level`'s parameters against Annex A."""
+    max_mbps, max_fs, max_dpb_mbs, max_br_kbps = _limits(level.name)
+    frame_mbs = macroblocks(level.frame.width, level.frame.height)
+    mb_rate = frame_mbs * level.fps
+    violations: List[str] = []
+
+    if frame_mbs > max_fs:
+        violations.append(
+            f"frame size {frame_mbs} MBs exceeds MaxFS {max_fs}"
+        )
+    if mb_rate > max_mbps:
+        violations.append(
+            f"macroblock rate {mb_rate:.0f}/s exceeds MaxMBPS {max_mbps}"
+        )
+    dpb_frames = min(MAX_REFS, max_dpb_mbs // frame_mbs) if frame_mbs else 0
+    if level.reference_frames > dpb_frames:
+        violations.append(
+            f"{level.reference_frames} reference frames exceed the DPB "
+            f"capacity of {dpb_frames} at this resolution"
+        )
+    if level.max_bitrate_mbps * 1000 > max_br_kbps:
+        violations.append(
+            f"bitrate {level.max_bitrate_mbps} Mb/s exceeds MaxBR "
+            f"{max_br_kbps / 1000:g} Mb/s"
+        )
+    return LevelCheck(
+        level_name=level.name,
+        frame_mbs=frame_mbs,
+        mb_rate=mb_rate,
+        violations=tuple(violations),
+    )
+
+
+def check_paper_levels() -> Dict[str, LevelCheck]:
+    """Validate every Table I column; all must be conformant."""
+    from repro.usecase.levels import PAPER_LEVELS
+
+    return {level.name: check_level(level) for level in PAPER_LEVELS}

@@ -1,0 +1,93 @@
+"""Pixel formats and frame formats of the video-recording chain.
+
+The paper (Section II / Table I): *"Bayer RGB and YUV422 encodings use
+16 bits to store one pixel and, correspondingly, H.264 encoded frames
+require 12 bits (YUV420) and the displayed RGB888 format needs 24 bits
+per pixel."*  Image sizes are 1280x720, 1920x1088 and 3840x2160
+pixels, with a WVGA (800x480) device display.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class PixelFormat(enum.Enum):
+    """Pixel encodings used along the processing chain."""
+
+    BAYER_RGB = ("Bayer RGB", 16)
+    YUV422 = ("YUV422", 16)
+    YUV420 = ("YUV420", 12)
+    RGB888 = ("RGB888", 24)
+
+    def __init__(self, label: str, bits_per_pixel: int) -> None:
+        self.label = label
+        self.bits_per_pixel = bits_per_pixel
+
+    def frame_bits(self, pixels: int) -> int:
+        """Bits needed to store ``pixels`` in this format."""
+        if pixels < 0:
+            raise ConfigurationError(f"pixel count must be >= 0, got {pixels}")
+        return pixels * self.bits_per_pixel
+
+    def frame_bytes(self, pixels: int) -> int:
+        """Bytes needed to store ``pixels`` (rounded up)."""
+        return (self.frame_bits(pixels) + 7) // 8
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+@dataclass(frozen=True)
+class FrameFormat:
+    """A raster size: width x height in pixels."""
+
+    name: str
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(
+                f"frame dimensions must be positive, got {self.width}x{self.height}"
+            )
+
+    @property
+    def pixels(self) -> int:
+        """Total pixel count N."""
+        return self.width * self.height
+
+    def with_border(self, factor: float) -> "FrameFormat":
+        """Scale both dimensions by ``factor``.
+
+        The paper's video stabilization consumes a sensor image with a
+        20 % border: 1.2W x 1.2H (Fig. 1), i.e. ``with_border(1.2)``.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"border factor must be positive, got {factor}")
+        return FrameFormat(
+            name=f"{self.name}+border",
+            width=round(self.width * factor),
+            height=round(self.height * factor),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} ({self.width}x{self.height})"
+
+
+#: 720p HD as evaluated by the paper.
+FORMAT_720P = FrameFormat("720p", 1280, 720)
+#: 1080p HD; the paper uses the macroblock-aligned 1920x1088 raster.
+FORMAT_1080P = FrameFormat("1080p", 1920, 1088)
+#: Quad HD / UHD.
+FORMAT_2160P = FrameFormat("2160p", 3840, 2160)
+#: 8K UHD -- beyond the paper's evaluation, used by the future-format
+#: extension experiments (Section V: "future systems, where the memory
+#: loads exceed the HDTV requirement").
+FORMAT_4320P = FrameFormat("4320p", 7680, 4320)
+#: The device display (Section II: "the device display is capable of
+#: presenting WVGA images").
+FORMAT_WVGA = FrameFormat("WVGA", 800, 480)

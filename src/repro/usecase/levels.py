@@ -1,0 +1,103 @@
+"""The five HD-compatible H.264/AVC encoding levels of Table I.
+
+Table I tabulates the memory bandwidth requirement "for the five HD
+compatible encoding levels defined by H.264/AVC": levels 3.1 and 3.2
+(720p at 30/60 fps), 4 and 4.2 (1080p at 30/60 fps) and 5.2 (2160p at
+30 fps).  Each level fixes the image size, the maximum frame rate that
+must be supported ("Limits") and the maximum output bitrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.usecase.formats import (
+    FORMAT_1080P,
+    FORMAT_2160P,
+    FORMAT_4320P,
+    FORMAT_720P,
+    FrameFormat,
+)
+
+
+@dataclass(frozen=True)
+class H264Level:
+    """One H.264/AVC level as evaluated in Table I."""
+
+    #: Level designation, e.g. ``"3.1"``.
+    name: str
+    #: Image format the level is evaluated at.
+    frame: FrameFormat
+    #: Maximum frame rate that needs supporting, fps ("Limits").
+    fps: int
+    #: Maximum output video bitrate, Mb/s.
+    max_bitrate_mbps: float
+    #: Number of reference frames the encoder keeps (calibration
+    #: constant; four reproduces every bandwidth anchor the paper
+    #: states -- see DESIGN.md section 4).
+    reference_frames: int = 4
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ConfigurationError(f"fps must be positive, got {self.fps}")
+        if self.max_bitrate_mbps <= 0:
+            raise ConfigurationError(
+                f"max bitrate must be positive, got {self.max_bitrate_mbps}"
+            )
+        if self.reference_frames < 1:
+            raise ConfigurationError(
+                f"need at least one reference frame, got {self.reference_frames}"
+            )
+
+    @property
+    def column_title(self) -> str:
+        """Table I column header, e.g. ``"1080p HD 4.2"``."""
+        return f"{self.frame.name}@{self.fps} (L{self.name})"
+
+    @property
+    def frame_period_ms(self) -> float:
+        """Real-time budget per frame in ms (the Fig. 3/4 red lines)."""
+        return 1000.0 / self.fps
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.column_title
+
+
+#: The Table I columns, in paper order.
+PAPER_LEVELS: Tuple[H264Level, ...] = (
+    H264Level(name="3.1", frame=FORMAT_720P, fps=30, max_bitrate_mbps=14.0),
+    H264Level(name="3.2", frame=FORMAT_720P, fps=60, max_bitrate_mbps=20.0),
+    H264Level(name="4", frame=FORMAT_1080P, fps=30, max_bitrate_mbps=20.0),
+    H264Level(name="4.2", frame=FORMAT_1080P, fps=60, max_bitrate_mbps=50.0),
+    H264Level(name="5.2", frame=FORMAT_2160P, fps=30, max_bitrate_mbps=240.0),
+)
+
+#: Extrapolated future formats for the Section V discussion ("future
+#: systems, where the memory loads exceed the HDTV requirement").
+#: 2160p@60 matches H.264 level 5.2's ceiling; the 8K entry is beyond
+#: any 2009-era level and exists to exercise >8-channel organisations.
+FUTURE_LEVELS: Tuple[H264Level, ...] = (
+    H264Level(
+        name="5.2@60", frame=FORMAT_2160P, fps=60, max_bitrate_mbps=240.0
+    ),
+    H264Level(
+        name="8K", frame=FORMAT_4320P, fps=30, max_bitrate_mbps=480.0
+    ),
+)
+
+_BY_NAME: Dict[str, H264Level] = {
+    lvl.name: lvl for lvl in PAPER_LEVELS + FUTURE_LEVELS
+}
+
+
+def level_by_name(name: str) -> H264Level:
+    """Look up one of the paper's levels by designation (e.g. ``"4.2"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown H.264 level {name!r}; paper levels are "
+            f"{sorted(_BY_NAME)}"
+        ) from None

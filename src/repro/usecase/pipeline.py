@@ -1,0 +1,334 @@
+"""The Fig. 1 video-recording pipeline model.
+
+Reproduces the paper's use case stage by stage: *"the video stream
+originates from the image sensor and it is buffered in execution
+memory.  After various processing steps, including H.264 encoding, the
+video stream is multiplexed with the corresponding audio stream and
+stored in removable media.  While this process is ongoing, the stream
+must also be presented on the device display."*
+
+Modelling assumptions, all from the paper:
+
+- The cache is large enough to hit on everything except the Fig. 1
+  inter-stage frame buffers; instruction traffic is insignificant.
+- The sensor image carries a 20 % stabilization border (1.2W x 1.2H).
+- Bayer RGB and YUV422 use 16 bit/pel, H.264 frames 12 bit/pel
+  (YUV420), the WVGA display 24 bit/pel (RGB888); the display is
+  refreshed at 60 Hz regardless of the recording frame rate, so
+  DisplayCtrl has constant memory requirements.
+- Reads and writes are identical with respect to bandwidth; every
+  stage's number combines consumption and production.
+- "The video encoding exhibits an implementation dependent constant
+  factor that is estimated to be six": the encoder reads each of the
+  ``n_ref`` reference frames six times over per encoded frame
+  (Fig. 1's ``6 x N x # reference frames`` annotation), plus writes
+  and re-reads the reconstructed frame.
+
+The reconstructed per-stage constants reproduce every numeric anchor
+the paper's prose preserves (1.9 / 4.3 / 8.6 GB/s and the 2.2x
+720p-to-1080p ratio); see DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.usecase.audio import AudioStream
+from repro.usecase.formats import FORMAT_WVGA, FrameFormat, PixelFormat
+from repro.usecase.levels import H264Level
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One execution-memory frame/stream buffer."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("buffer name must be non-empty")
+        if self.size_bytes <= 0:
+            raise ConfigurationError(
+                f"buffer {self.name!r} must have positive size, got {self.size_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class StageTraffic:
+    """Per-frame execution-memory traffic of one pipeline stage.
+
+    ``reads``/``writes`` list ``(buffer_name, bits)`` pairs; Table I's
+    cell for the stage is their combined total.
+    """
+
+    name: str
+    #: ``"image"`` (image processing) or ``"coding"`` (video coding).
+    category: str
+    reads: Tuple[Tuple[str, float], ...] = ()
+    writes: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.category not in ("image", "coding"):
+            raise ConfigurationError(
+                f"category must be 'image' or 'coding', got {self.category!r}"
+            )
+        for buf, bits in self.reads + self.writes:
+            if bits < 0:
+                raise ConfigurationError(
+                    f"stage {self.name!r}: negative traffic on {buf!r}"
+                )
+
+    @property
+    def read_bits(self) -> float:
+        """Bits read from execution memory per frame."""
+        return sum(bits for _, bits in self.reads)
+
+    @property
+    def write_bits(self) -> float:
+        """Bits written to execution memory per frame."""
+        return sum(bits for _, bits in self.writes)
+
+    @property
+    def total_bits(self) -> float:
+        """Combined consumption + production (the Table I cell)."""
+        return self.read_bits + self.write_bits
+
+
+class VideoRecordingUseCase:
+    """The complete Fig. 1 use case for one H.264/AVC level.
+
+    Parameters
+    ----------
+    level:
+        The encoding level (fixes format, frame rate, bitrate and the
+        reference-frame count).
+    audio:
+        Audio stream parameters.
+    digizoom:
+        The digital zoom factor *z*; post-processing emits N/z^2
+        pixels (Fig. 1's ``~N/(z x z)``).
+    display:
+        Device display format (WVGA in the paper).
+    display_refresh_hz:
+        Display controller refresh rate (60 Hz in the paper).
+    stabilization_border:
+        Linear sensor over-scan factor (1.2 in the paper: a 20 %
+        stabilization border).
+    encoder_factor:
+        The implementation-dependent encoder constant (six).
+    intra_only:
+        Model an intra-coded (I) frame: the encoder reads no reference
+        frames, only writing and re-reading the reconstruction.  Table
+        I and the paper's evaluation use the steady-state inter-coded
+        (P) frame (the default); the GOP analysis in
+        :mod:`repro.analysis.steadystate` mixes both.
+    """
+
+    def __init__(
+        self,
+        level: H264Level,
+        audio: AudioStream = None,
+        digizoom: float = 1.0,
+        display: FrameFormat = FORMAT_WVGA,
+        display_refresh_hz: float = 60.0,
+        stabilization_border: float = 1.2,
+        encoder_factor: float = 6.0,
+        intra_only: bool = False,
+    ) -> None:
+        if digizoom < 1.0:
+            raise ConfigurationError(f"digizoom must be >= 1, got {digizoom}")
+        if display_refresh_hz <= 0:
+            raise ConfigurationError(
+                f"display refresh must be positive, got {display_refresh_hz}"
+            )
+        if stabilization_border < 1.0:
+            raise ConfigurationError(
+                f"stabilization border must be >= 1, got {stabilization_border}"
+            )
+        if encoder_factor <= 0:
+            raise ConfigurationError(
+                f"encoder factor must be positive, got {encoder_factor}"
+            )
+        self.level = level
+        self.audio = audio if audio is not None else AudioStream()
+        self.digizoom = digizoom
+        self.display = display
+        self.display_refresh_hz = display_refresh_hz
+        self.stabilization_border = stabilization_border
+        self.encoder_factor = encoder_factor
+        self.intra_only = intra_only
+
+        self.sensor_frame = level.frame.with_border(stabilization_border)
+        #: Pixels after digizoom cropping (``~N/(z*z)``).
+        self.zoomed_pixels = max(1, round(level.frame.pixels / (digizoom * digizoom)))
+
+    # -- derived stream rates ------------------------------------------------
+
+    @property
+    def video_bits_per_frame(self) -> float:
+        """Encoded video bitstream bits produced per frame (V/fps)."""
+        return self.level.max_bitrate_mbps * 1e6 / self.level.fps
+
+    @property
+    def audio_bits_per_frame(self) -> float:
+        """Audio bits accumulated per video frame (A/fps)."""
+        return self.audio.bits_per_frame(self.level.fps)
+
+    @property
+    def mux_bits_per_frame(self) -> float:
+        """Multiplexed stream bits per frame ((A+V)/fps)."""
+        return self.video_bits_per_frame + self.audio_bits_per_frame
+
+    # -- buffers ---------------------------------------------------------------
+
+    def buffers(self) -> List[BufferSpec]:
+        """Execution-memory buffers the stages stream through.
+
+        The load model lays these out contiguously in the global
+        address space (see :mod:`repro.load.addressmap`).
+        """
+        n = self.level.frame.pixels
+        nb = self.sensor_frame.pixels
+        nz = self.zoomed_pixels
+        bayer = PixelFormat.BAYER_RGB
+        yuv422 = PixelFormat.YUV422
+        yuv420 = PixelFormat.YUV420
+        rgb = PixelFormat.RGB888
+
+        bufs = [
+            BufferSpec("sensor_raw", bayer.frame_bytes(nb)),
+            BufferSpec("sensor_filtered", bayer.frame_bytes(nb)),
+            BufferSpec("yuv_full", yuv422.frame_bytes(nb)),
+            BufferSpec("yuv_stab", yuv422.frame_bytes(n)),
+            BufferSpec("yuv_zoom", yuv422.frame_bytes(nz)),
+            BufferSpec("display_fb", rgb.frame_bytes(self.display.pixels)),
+        ]
+        for i in range(self.level.reference_frames):
+            bufs.append(BufferSpec(f"ref_{i}", yuv420.frame_bytes(n)))
+        bufs.append(BufferSpec("recon", yuv420.frame_bytes(n)))
+        stream_bytes = max(16, int(self.mux_bits_per_frame / 8) + 16)
+        bufs.append(BufferSpec("video_bs", stream_bytes))
+        bufs.append(BufferSpec("audio_bs", max(16, int(self.audio_bits_per_frame / 8) + 16)))
+        bufs.append(BufferSpec("mux_out", stream_bytes))
+        return bufs
+
+    # -- stages ---------------------------------------------------------------
+
+    def stages(self) -> List[StageTraffic]:
+        """The Fig. 1 stages in pipeline order, with per-frame traffic."""
+        n = self.level.frame.pixels
+        nb = self.sensor_frame.pixels
+        nz = self.zoomed_pixels
+        bayer = float(PixelFormat.BAYER_RGB.bits_per_pixel)
+        yuv422 = float(PixelFormat.YUV422.bits_per_pixel)
+        yuv420 = float(PixelFormat.YUV420.bits_per_pixel)
+        rgb = float(PixelFormat.RGB888.bits_per_pixel)
+
+        v_frame = self.video_bits_per_frame
+        a_frame = self.audio_bits_per_frame
+        av_frame = self.mux_bits_per_frame
+        display_bits = rgb * self.display.pixels
+        refreshes_per_frame = self.display_refresh_hz / self.level.fps
+
+        n_ref = self.level.reference_frames
+        ref_read_each = self.encoder_factor * yuv420 * n
+
+        if self.intra_only:
+            # I frame: no motion search, so no reference reads.
+            encoder_reads: List[Tuple[str, float]] = [("recon", yuv420 * n)]
+        else:
+            encoder_reads = [(f"ref_{i}", ref_read_each) for i in range(n_ref)]
+            encoder_reads.append(("recon", yuv420 * n))
+
+        return [
+            StageTraffic(
+                "Camera I/F",
+                "image",
+                writes=(("sensor_raw", bayer * nb),),
+            ),
+            StageTraffic(
+                "Preprocess",
+                "image",
+                reads=(("sensor_raw", bayer * nb),),
+                writes=(("sensor_filtered", bayer * nb),),
+            ),
+            StageTraffic(
+                "Bayer to YUV",
+                "image",
+                reads=(("sensor_filtered", bayer * nb),),
+                writes=(("yuv_full", yuv422 * nb),),
+            ),
+            StageTraffic(
+                "Video stabilization",
+                "image",
+                reads=(("yuv_full", yuv422 * nb),),
+                writes=(("yuv_stab", yuv422 * n),),
+            ),
+            StageTraffic(
+                "Post proc & digizoom",
+                "image",
+                reads=(("yuv_stab", yuv422 * n),),
+                writes=(("yuv_zoom", yuv422 * nz),),
+            ),
+            StageTraffic(
+                "Scaling to display",
+                "image",
+                reads=(("yuv_zoom", yuv422 * nz),),
+                writes=(("display_fb", display_bits),),
+            ),
+            StageTraffic(
+                "DisplayCtrl",
+                "image",
+                reads=(("display_fb", display_bits * refreshes_per_frame),),
+            ),
+            StageTraffic(
+                "Video encoder",
+                "coding",
+                reads=tuple(encoder_reads),
+                writes=(("recon", yuv420 * n), ("video_bs", v_frame)),
+            ),
+            StageTraffic(
+                "Multiplex",
+                "coding",
+                reads=(("video_bs", v_frame), ("audio_bs", a_frame)),
+                writes=(("mux_out", av_frame),),
+            ),
+            StageTraffic(
+                "Memory card",
+                "coding",
+                reads=(("mux_out", av_frame),),
+            ),
+        ]
+
+    # -- totals ---------------------------------------------------------------
+
+    def image_processing_bits_per_frame(self) -> float:
+        """Table I: "Image proc. total (1 frame)"."""
+        return sum(s.total_bits for s in self.stages() if s.category == "image")
+
+    def video_coding_bits_per_frame(self) -> float:
+        """Table I: "Video coding total (1 frame)"."""
+        return sum(s.total_bits for s in self.stages() if s.category == "coding")
+
+    def total_bits_per_frame(self) -> float:
+        """Table I: "Data Mem. load (1 frame)"."""
+        return self.image_processing_bits_per_frame() + self.video_coding_bits_per_frame()
+
+    def total_bytes_per_frame(self) -> float:
+        """Per-frame execution-memory traffic in bytes."""
+        return self.total_bits_per_frame() / 8.0
+
+    def bandwidth_bytes_per_s(self) -> float:
+        """Table I: "Data Mem. load [MB/s]" in bytes/s."""
+        return self.total_bytes_per_frame() * self.level.fps
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"video recording {self.level.column_title}: "
+            f"{self.total_bits_per_frame() / 1e6:.1f} Mb/frame, "
+            f"{self.bandwidth_bytes_per_s() / 1e9:.2f} GB/s"
+        )

@@ -1,0 +1,63 @@
+"""Tests for the per-stage cost breakdown."""
+
+import pytest
+
+from repro.analysis.breakdown import stage_breakdown
+from repro.core.config import SystemConfig
+from repro.usecase.levels import level_by_name
+
+BUDGET = 50_000
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    return stage_breakdown(
+        level_by_name("3.1"),
+        SystemConfig(channels=2, freq_mhz=400.0),
+        chunk_budget=BUDGET,
+    )
+
+
+class TestStageBreakdown:
+    def test_all_stages_present(self, breakdown):
+        names = [s.stage for s in breakdown.stages]
+        assert "Camera I/F" in names
+        assert "Video encoder" in names
+        assert "Memory card" in names
+
+    def test_encoder_dominates(self, breakdown):
+        # Section II: "the single most memory intensive part is the
+        # video encoding" -- true in time and energy, not just bytes.
+        dom = breakdown.dominant_stage()
+        assert dom.stage == "Video encoder"
+        assert dom.category == "coding"
+        assert dom.energy_mj == max(s.energy_mj for s in breakdown.stages)
+
+    def test_stage_times_sum_close_to_combined(self, breakdown):
+        # Isolated attribution is slightly pessimistic (cold rows per
+        # stage) but must stay within a few percent.
+        assert breakdown.stage_sum_ms >= breakdown.combined_access_ms * 0.99
+        assert breakdown.isolation_overhead < 0.10
+
+    def test_bytes_match_table1_shares(self, breakdown):
+        from repro.usecase.pipeline import VideoRecordingUseCase
+
+        uc = VideoRecordingUseCase(level_by_name("3.1"))
+        expected = {s.name: s.total_bits / 8 for s in uc.stages()}
+        total_expected = sum(expected.values())
+        total_measured = sum(s.bytes_moved for s in breakdown.stages)
+        for cost in breakdown.stages:
+            share_expected = expected[cost.stage] / total_expected
+            share_measured = cost.bytes_moved / total_measured
+            assert share_measured == pytest.approx(share_expected, abs=0.01)
+
+    def test_positive_costs(self, breakdown):
+        for s in breakdown.stages:
+            assert s.access_time_ms > 0
+            assert s.energy_mj > 0
+            assert s.effective_bandwidth_gbps > 0
+
+    def test_format_renders(self, breakdown):
+        text = breakdown.format()
+        assert "Video encoder" in text
+        assert "combined frame" in text

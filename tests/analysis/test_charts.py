@@ -1,0 +1,97 @@
+"""Tests for terminal chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import (
+    ZERO_MARK,
+    fig3_chart,
+    fig4_chart,
+    fig5_chart,
+    grouped_bars,
+    hbar_chart,
+)
+from repro.analysis.experiments import run_fig3, run_fig5
+from repro.errors import ConfigurationError
+
+BUDGET = 25_000
+
+
+class TestHbarChart:
+    def test_bars_scale_with_values(self):
+        out = hbar_chart([("a", 10.0), ("b", 20.0)], width=20)
+        lines = out.split("\n")
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_max_value_fills_width(self):
+        out = hbar_chart([("a", 100.0)], width=20)
+        assert out.count("#") == 19
+
+    def test_zero_bar_annotated(self):
+        out = hbar_chart([("a", 0.0), ("b", 5.0)], width=20)
+        assert ZERO_MARK in out
+
+    def test_reference_line_drawn(self):
+        out = hbar_chart(
+            [("a", 10.0)], width=30, reference=("limit", 20.0), unit=" ms"
+        )
+        assert "|" in out
+        assert "^ limit = 20 ms" in out
+
+    def test_labels_aligned(self):
+        out = hbar_chart([("short", 1.0), ("a-longer-label", 2.0)], width=20)
+        lines = out.split("\n")
+        assert lines[0].index("1.0") == lines[1].index("2.0")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hbar_chart([], width=20)
+        with pytest.raises(ConfigurationError):
+            hbar_chart([("a", 1.0)], width=5)
+        with pytest.raises(ConfigurationError):
+            hbar_chart([("a", -1.0)])
+
+    def test_all_zero_values(self):
+        out = hbar_chart([("a", 0.0)], width=20)
+        assert ZERO_MARK in out
+
+
+class TestGroupedBars:
+    def test_groups_titled(self):
+        out = grouped_bars({"g1": {"x": 1.0}, "g2": {"x": 2.0}})
+        assert "g1" in out and "g2" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            grouped_bars({})
+        with pytest.raises(ConfigurationError):
+            grouped_bars({"g": {}})
+
+
+class TestFigureCharts:
+    @pytest.fixture(scope="class")
+    def fig3(self):
+        return run_fig3(
+            frequencies_mhz=(200.0, 400.0),
+            channel_counts=(1, 2),
+            chunk_budget=BUDGET,
+        )
+
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_fig5(channel_counts=(1, 8), chunk_budget=BUDGET)
+
+    def test_fig3_chart(self, fig3):
+        out = fig3_chart(fig3)
+        assert "200 MHz" in out and "400 MHz" in out
+        assert "real-time" in out
+
+    def test_fig4_chart(self, fig5):
+        out = fig4_chart(fig5.fig4)
+        assert "720p@30" in out
+        assert "ms" in out
+
+    def test_fig5_chart_zero_bars(self, fig5):
+        out = fig5_chart(fig5)
+        # 2160p on a single channel misses real time -> zero bar.
+        assert ZERO_MARK in out
+        assert "mW" in out

@@ -1,0 +1,260 @@
+"""The headline reproduction tests: every paper artifact's qualitative
+pattern, asserted against the simulator.
+
+These are integration tests over the whole stack (use case -> load
+model -> multi-channel system -> power/real-time analysis).  They use
+a reduced simulation budget to stay fast; the benchmarks run the same
+experiments at full fidelity.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    format_table1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_xdr_comparison,
+)
+from repro.analysis.realtime import RealTimeVerdict
+
+BUDGET = 60_000
+
+FAIL = RealTimeVerdict.FAIL
+MARGINAL = RealTimeVerdict.MARGINAL
+PASS = RealTimeVerdict.PASS
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(chunk_budget=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(chunk_budget=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def fig4(fig5):
+    return fig5.fig4
+
+
+class TestTable1:
+    """Table I: the bandwidth requirements the prose quotes."""
+
+    def test_720p30_1_9_gbps(self):
+        table = run_table1()
+        assert table.column_for("3.1").bandwidth_gb_per_s == pytest.approx(
+            1.9, abs=0.06
+        )
+
+    def test_1080p30_4_3_gbps(self):
+        table = run_table1()
+        assert table.column_for("4").bandwidth_gb_per_s == pytest.approx(4.3, rel=0.05)
+
+    def test_1080p60_8_6_gbps(self):
+        table = run_table1()
+        assert table.column_for("4.2").bandwidth_gb_per_s == pytest.approx(
+            8.6, rel=0.06
+        )
+
+    def test_format_renders(self):
+        text = format_table1(run_table1())
+        assert "Video encoder" in text
+        assert "Data Mem. load [MB/s]" in text
+
+
+class TestTable2:
+    """Table II: 16-byte round-robin over bank clusters."""
+
+    def test_eight_channel_map(self):
+        result = run_table2(channels=8)
+        assert result.rows[0] == ("0..15", "BC 0")
+        assert result.rows[1] == ("16..31", "BC 1")
+        assert result.rows[-1] == ("128..143", "BC 0")  # 16 x M wraps
+
+    def test_format_renders(self):
+        assert "Bank cluster" in run_table2(4).format()
+
+
+class TestFig3:
+    """Fig. 3: access time vs clock frequency for 720p30."""
+
+    def test_one_channel_200_and_266_fail(self, fig3):
+        # "the first two frequencies 200 and 266 MHz cannot meet the
+        # performance requirements".
+        assert fig3.verdicts[200.0][1] is FAIL
+        assert fig3.verdicts[266.0][1] is FAIL
+
+    def test_one_channel_333_marginal(self, fig3):
+        # "(333 MHz, marked marginal in Fig. 3), is on the edge".
+        assert fig3.verdicts[333.0][1] is MARGINAL
+
+    def test_one_channel_400_and_up_pass(self, fig3):
+        for f in (400.0, 466.0, 533.0):
+            assert fig3.verdicts[f][1] is PASS
+
+    def test_two_channels_meet_all_frequencies(self, fig3):
+        # "at least two channels are required to satisfy the real-time
+        # requirements of the 720p HDTV with all the examined DDR2
+        # clock frequencies."
+        for f in fig3.frequencies_mhz:
+            for m in (2, 4, 8):
+                assert fig3.verdicts[f][m] is PASS
+
+    def test_close_to_2x_speedup_per_channel_doubling(self, fig3):
+        # "close to 2x speedup can be achieved by ... double the
+        # number of exploited channels."
+        for f in fig3.frequencies_mhz:
+            for a, b in ((1, 2), (2, 4), (4, 8)):
+                ratio = fig3.access_ms[f][a] / fig3.access_ms[f][b]
+                assert 1.7 <= ratio <= 2.1, (f, a, b, ratio)
+
+    def test_close_to_2x_speedup_per_frequency_doubling(self, fig3):
+        # ... "or by using double clock frequency".
+        for m in fig3.channel_counts:
+            ratio = fig3.access_ms[200.0][m] / fig3.access_ms[400.0][m]
+            assert 1.7 <= ratio <= 2.1, (m, ratio)
+
+    def test_access_time_monotone_in_frequency(self, fig3):
+        for m in fig3.channel_counts:
+            times = [fig3.access_ms[f][m] for f in fig3.frequencies_mhz]
+            assert times == sorted(times, reverse=True)
+
+    def test_realtime_line(self, fig3):
+        assert fig3.realtime_requirement_ms == pytest.approx(33.33, abs=0.01)
+
+    def test_format_renders(self, fig3):
+        text = fig3.format()
+        assert "Clock [MHz]" in text
+        assert "33.3 ms" in text
+
+
+class TestFig4:
+    """Fig. 4: frame-format sweep at 400 MHz."""
+
+    def test_level_31_achievable_with_all_interleavings(self, fig4):
+        # "H.264/AVC level 3.1 is achievable with all interleaving
+        # schemes."
+        for m in fig4.channel_counts:
+            assert fig4.verdict("3.1", m).feasible
+
+    def test_level_32_requires_two_channels(self, fig4):
+        # "Level 3.2 (@60 fps) requires at least two channels."
+        assert fig4.verdict("3.2", 1) is FAIL
+        for m in (2, 4, 8):
+            assert fig4.verdict("3.2", m) is PASS
+
+    def test_1080p30_safe_with_four_channels(self, fig4):
+        # "In order to be on the safe side ... 1080p employs at
+        # minimum four channels": 2 channels work but only marginally.
+        assert fig4.verdict("4", 1) is FAIL
+        assert fig4.verdict("4", 2) is MARGINAL
+        assert fig4.verdict("4", 4) is PASS
+        assert fig4.verdict("4", 8) is PASS
+
+    def test_1080p60_needs_eight_channels(self, fig4):
+        # "The frame format 1080p@60 ... need[s] all eight channels":
+        # four channels cannot leave the processing margin.
+        assert fig4.verdict("4.2", 2) is FAIL
+        assert fig4.verdict("4.2", 4) in (MARGINAL, FAIL)
+        assert fig4.verdict("4.2", 8) is PASS
+
+    def test_2160p_on_the_edge_with_eight_channels(self, fig4):
+        # "2160p format starts to be already doubtful": only the
+        # 8-channel configuration is feasible, and only just.
+        for m in (1, 2, 4):
+            assert fig4.verdict("5.2", m) is FAIL
+        assert fig4.verdict("5.2", 8) in (PASS, MARGINAL)
+        assert fig4.access_ms("5.2", 8) > 25.0  # close to the 33.3 line
+
+    def test_1080p30_needs_2_2x_more_than_720p30(self, fig4):
+        ratio = fig4.access_ms("4", 4) / fig4.access_ms("3.1", 4)
+        assert ratio == pytest.approx(2.2, abs=0.2)
+
+    def test_format_renders(self, fig4):
+        assert "Frame format" in fig4.format()
+
+
+class TestFig5:
+    """Fig. 5: power vs frame format at 400 MHz."""
+
+    def test_720p30_single_channel_about_150mw(self, fig5):
+        # "With a single channel, average power consumption for 720p
+        # is 150 mW."
+        p = fig5.point("3.1", 1)
+        assert p.total_power_mw == pytest.approx(150.0, rel=0.10)
+
+    def test_720p30_eight_channels_about_205mw(self, fig5):
+        # "...whereas 8-channel configuration demands 205 mW."
+        p = fig5.point("3.1", 8)
+        assert p.total_power_mw == pytest.approx(205.0, rel=0.10)
+
+    def test_1080p30_four_channels_about_345mw(self, fig5):
+        # "Video recording for ... 1080p with four channels consumes
+        # 345 mW."
+        p = fig5.point("4", 4)
+        assert p.total_power_mw == pytest.approx(345.0, rel=0.10)
+
+    def test_2160p_eight_channels_about_1280mw(self, fig5):
+        # "3840x2160 with 8-channel configuration requires ... up to
+        # 1280 mW."
+        p = fig5.point("5.2", 8)
+        assert p.total_power_mw == pytest.approx(1280.0, rel=0.10)
+
+    def test_multi_channel_power_increase_is_moderate(self, fig5):
+        # "the increase in power consumption is moderate when
+        # comparing multi-channel to single-channel configuration."
+        p1 = fig5.point("3.1", 1).total_power_mw
+        p8 = fig5.point("3.1", 8).total_power_mw
+        assert 1.0 < p8 / p1 < 1.6
+
+    def test_infeasible_bars_are_zero(self, fig5):
+        # "Bars with zero values mean that the memory subsystem
+        # configuration cannot meet the real time requirements."
+        assert fig5.point("5.2", 1).reported_power_mw == 0.0
+        assert fig5.point("4.2", 1).reported_power_mw == 0.0
+
+    def test_interface_power_a_few_mw_per_channel(self, fig5):
+        p = fig5.point("3.1", 8).power
+        assert 0.0 < p.interface_power_w < 8 * 4.5e-3
+
+    def test_power_grows_with_load(self, fig5):
+        powers = [
+            fig5.point(name, 8).total_power_mw
+            for name in ("3.1", "3.2", "4", "4.2", "5.2")
+        ]
+        assert powers == sorted(powers)
+
+    def test_format_renders(self, fig5):
+        text = fig5.format()
+        assert "mW" in text
+        assert "0 !" in text  # zero bars present
+
+
+class TestXdrComparison:
+    """Section IV: similar bandwidth at 4-25 % of the XDR power."""
+
+    def test_bandwidth_similar_to_xdr(self, fig5):
+        result = run_xdr_comparison(fig5=fig5)
+        assert result.peak_bandwidth_bytes_per_s == pytest.approx(25.6e9)
+        assert result.reference.bandwidth_bytes_per_s == pytest.approx(25.6e9)
+
+    def test_power_ratio_range_4_to_25_percent(self, fig5):
+        result = run_xdr_comparison(fig5=fig5)
+        lo, hi = result.power_ratio_range
+        assert lo == pytest.approx(0.04, abs=0.01)
+        assert hi == pytest.approx(0.25, abs=0.035)
+
+    def test_all_feasible_levels_compared(self, fig5):
+        result = run_xdr_comparison(fig5=fig5)
+        # All five levels are feasible on 8 channels.
+        assert len(result.per_level) == 5
+
+    def test_format_renders(self, fig5):
+        text = run_xdr_comparison(fig5=fig5).format()
+        assert "XDR" in text
+        assert "%" in text

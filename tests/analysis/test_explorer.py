@@ -1,0 +1,127 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.analysis.explorer import (
+    compare_energy_strategies,
+    conclusions_summary,
+    find_minimum_power_configuration,
+    minimum_channels,
+)
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.usecase.levels import level_by_name
+
+BUDGET = 50_000
+
+
+class TestMinimumChannels:
+    def test_720p30_needs_one_channel(self):
+        assert minimum_channels(level_by_name("3.1"), chunk_budget=BUDGET) == 1
+
+    def test_720p60_needs_two_channels(self):
+        # The paper: "Level 3.2 (@60 fps) requires at least two channels."
+        assert minimum_channels(level_by_name("3.2"), chunk_budget=BUDGET) == 2
+
+    def test_1080p30_marginal_vs_safe(self):
+        # Feasible on 2 (marginally), safe on 4 -- the paper's "on the
+        # safe side" distinction.
+        level = level_by_name("4")
+        assert minimum_channels(level, chunk_budget=BUDGET) == 2
+        assert minimum_channels(level, require_margin=True, chunk_budget=BUDGET) == 4
+
+    def test_2160p30_needs_eight(self):
+        assert minimum_channels(level_by_name("5.2"), chunk_budget=BUDGET) == 8
+
+    def test_returns_none_when_impossible(self):
+        # 2160p30 on at most 2 channels: hopeless.
+        assert minimum_channels(
+            level_by_name("5.2"), channel_counts=(1, 2), chunk_budget=BUDGET
+        ) is None
+
+    def test_lower_clock_needs_more_channels(self):
+        level = level_by_name("3.1")
+        at_200 = minimum_channels(level, freq_mhz=200.0, chunk_budget=BUDGET)
+        at_533 = minimum_channels(level, freq_mhz=533.0, chunk_budget=BUDGET)
+        assert at_200 >= at_533
+
+
+class TestConclusionsSummary:
+    def test_matches_paper_section_v(self):
+        # "level 3.2 ... clearly needs several channels ... level 4
+        # requires the 4-channel configuration [2 is only marginal]
+        # ... 8-channel ... capable up to level 5.2."
+        summary = conclusions_summary(chunk_budget=BUDGET)
+        assert summary["3.1"] == 1
+        assert summary["3.2"] == 2
+        assert summary["4"] in (2, 4)
+        assert summary["4.2"] in (4, 8)
+        assert summary["5.2"] == 8
+
+
+class TestMinimumPowerConfiguration:
+    def test_finds_a_passing_point(self):
+        best = find_minimum_power_configuration(
+            level_by_name("3.1"),
+            frequencies_mhz=(400.0,),
+            chunk_budget=BUDGET,
+        )
+        assert best is not None
+        assert best.verdict.name == "PASS"
+
+    def test_cheapest_720p30_is_single_channel(self):
+        # Extra channels only add idle power for a load one channel
+        # already sustains.
+        best = find_minimum_power_configuration(
+            level_by_name("3.1"),
+            frequencies_mhz=(400.0,),
+            chunk_budget=BUDGET,
+        )
+        assert best.config.channels == 1
+
+    def test_impossible_grid_returns_none(self):
+        best = find_minimum_power_configuration(
+            level_by_name("5.2"),
+            channel_counts=(1,),
+            frequencies_mhz=(200.0,),
+            chunk_budget=BUDGET,
+        )
+        assert best is None
+
+
+class TestEnergyStrategies:
+    def test_strategies_are_energy_comparable(self):
+        # The headline: immediate power-down makes race-to-idle and
+        # just-in-time nearly equivalent in energy.
+        cmp = compare_energy_strategies(
+            level_by_name("3.1"),
+            SystemConfig(channels=2, freq_mhz=400.0),
+            chunk_budget=BUDGET,
+        )
+        assert cmp.energy_ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_just_in_time_stretches_access_time(self):
+        cmp = compare_energy_strategies(
+            level_by_name("3.1"),
+            SystemConfig(channels=2, freq_mhz=400.0),
+            chunk_budget=BUDGET,
+        )
+        assert cmp.just_in_time_access_ms > cmp.race_to_idle_access_ms
+
+    def test_infeasible_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_energy_strategies(
+                level_by_name("5.2"),
+                SystemConfig(channels=1, freq_mhz=400.0),
+                chunk_budget=BUDGET,
+            )
+
+    def test_summary_mentions_strategies(self):
+        cmp = compare_energy_strategies(
+            level_by_name("3.1"),
+            SystemConfig(channels=2, freq_mhz=400.0),
+            chunk_budget=BUDGET,
+        )
+        text = cmp.summary()
+        assert "race-to-idle" in text
+        assert "just-in-time" in text

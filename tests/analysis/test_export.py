@@ -1,0 +1,86 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_xdr_comparison,
+)
+from repro.analysis.export import (
+    export_fig3,
+    export_fig4,
+    export_fig5,
+    export_table1,
+    export_xdr,
+)
+
+BUDGET = 30_000
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(chunk_budget=BUDGET)
+
+
+class TestExports:
+    def test_table1_csv(self, tmp_path):
+        path = tmp_path / "table1.csv"
+        count = export_table1(run_table1(), path)
+        rows = read_csv(path)
+        assert len(rows) == count + 1
+        assert rows[0][0] == "Stage"
+        assert any(r[0] == "Video encoder" for r in rows)
+
+    def test_fig3_csv(self, tmp_path):
+        path = tmp_path / "fig3.csv"
+        result = run_fig3(
+            frequencies_mhz=(200.0, 400.0),
+            channel_counts=(1, 2),
+            chunk_budget=BUDGET,
+        )
+        count = export_fig3(result, path)
+        rows = read_csv(path)
+        assert count == 4
+        assert rows[0] == ["freq_mhz", "channels", "access_ms", "verdict"]
+        assert float(rows[1][2]) > 0
+
+    def test_fig4_csv(self, tmp_path, fig5):
+        path = tmp_path / "fig4.csv"
+        count = export_fig4(fig5.fig4, path)
+        rows = read_csv(path)
+        assert count == 20  # 5 levels x 4 channel counts
+        assert rows[0][0] == "level"
+        verdicts = {r[5] for r in rows[1:]}
+        assert "FAIL" in verdicts and "PASS" in verdicts
+
+    def test_fig5_csv_zero_bars(self, tmp_path, fig5):
+        path = tmp_path / "fig5.csv"
+        export_fig5(fig5, path)
+        rows = read_csv(path)
+        failing = [r for r in rows[1:] if r[5] == "FAIL"]
+        assert failing
+        # The reported bar is zero but the raw power is preserved.
+        for row in failing:
+            assert float(row[2]) == 0.0
+            assert float(row[3]) > 0.0
+
+    def test_xdr_csv(self, tmp_path, fig5):
+        path = tmp_path / "xdr.csv"
+        result = run_xdr_comparison(fig5=run_fig5(
+            channel_counts=(8,), chunk_budget=BUDGET
+        ))
+        count = export_xdr(result, path)
+        rows = read_csv(path)
+        assert count == len(rows) - 1
+        ratios = [float(r[2]) for r in rows[1:]]
+        assert all(0.0 < x < 0.5 for x in ratios)

@@ -1,0 +1,54 @@
+"""Tests for real-time verdicts."""
+
+import pytest
+
+from repro.analysis.realtime import PAPER_MARGIN, RealTimeVerdict, realtime_verdict
+from repro.errors import ConfigurationError
+
+
+class TestVerdicts:
+    def test_comfortable_pass(self):
+        assert realtime_verdict(20.0, 33.333) is RealTimeVerdict.PASS
+
+    def test_marginal_inside_margin_band(self):
+        # Meets 33.3 ms but leaves less than 15 % for processing --
+        # the paper's Fig. 3 "MARGINAL" annotation.
+        assert realtime_verdict(30.0, 33.333) is RealTimeVerdict.MARGINAL
+
+    def test_fail_over_period(self):
+        assert realtime_verdict(34.0, 33.333) is RealTimeVerdict.FAIL
+
+    def test_boundary_exactly_at_period(self):
+        assert realtime_verdict(33.333, 33.333) is RealTimeVerdict.MARGINAL
+
+    def test_boundary_exactly_at_margin(self):
+        period = 100.0
+        at_margin = period * (1.0 - PAPER_MARGIN)
+        assert realtime_verdict(at_margin, period) is RealTimeVerdict.PASS
+        assert realtime_verdict(at_margin + 0.01, period) is RealTimeVerdict.MARGINAL
+
+    def test_custom_margin(self):
+        assert realtime_verdict(80.0, 100.0, margin=0.3) is RealTimeVerdict.MARGINAL
+        assert realtime_verdict(80.0, 100.0, margin=0.1) is RealTimeVerdict.PASS
+
+    def test_feasible_property(self):
+        assert RealTimeVerdict.PASS.feasible
+        assert RealTimeVerdict.MARGINAL.feasible
+        assert not RealTimeVerdict.FAIL.feasible
+
+    def test_paper_margin_is_15_percent(self):
+        assert PAPER_MARGIN == pytest.approx(0.15)
+
+
+class TestValidation:
+    def test_rejects_negative_access_time(self):
+        with pytest.raises(ConfigurationError):
+            realtime_verdict(-1.0, 33.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            realtime_verdict(1.0, 0.0)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ConfigurationError):
+            realtime_verdict(1.0, 33.0, margin=1.0)

@@ -1,0 +1,47 @@
+"""Tests for the reproduction report generator."""
+
+import pytest
+
+from repro.analysis.reportgen import generate_report, write_report
+
+BUDGET = 40_000
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(chunk_budget=BUDGET)
+
+
+class TestGenerateReport:
+    def test_all_anchors_hold_at_defaults(self, report):
+        _, anchors = report
+        assert anchors
+        failing = [a.name for a in anchors if not a.holds]
+        assert not failing, failing
+
+    def test_markdown_contains_every_artifact(self, report):
+        markdown, _ = report
+        for heading in ("Table I", "Table II", "Fig. 3", "Fig. 4", "Fig. 5",
+                        "XDR", "Paper anchors"):
+            assert heading in markdown
+
+    def test_anchor_table_rendered(self, report):
+        markdown, anchors = report
+        assert f"**{len(anchors)}/{len(anchors)} anchors reproduced.**" in markdown
+        for a in anchors:
+            assert a.name in markdown
+
+    def test_measured_values_recorded(self, report):
+        _, anchors = report
+        t1 = next(a for a in anchors if a.name == "Table I level 3.1")
+        assert "GB/s" in t1.measured
+        assert "1.9" in t1.expected
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        anchors = write_report(path, chunk_budget=BUDGET)
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert len(anchors) >= 10

@@ -1,0 +1,69 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    BOUNDARY_CLAIMS,
+    check_boundary_pattern,
+    sweep_block_bytes,
+    sweep_interconnect_overhead,
+    sweep_queue_depth,
+    sweep_reference_frames,
+)
+
+BUDGET = 40_000
+
+
+class TestBoundaryPattern:
+    def test_default_calibration_satisfies_every_claim(self):
+        outcome = check_boundary_pattern(chunk_budget=BUDGET)
+        assert all(outcome.values()), [k for k, v in outcome.items() if not v]
+
+    def test_all_claims_evaluated(self):
+        outcome = check_boundary_pattern(chunk_budget=BUDGET)
+        assert set(outcome) == {c[0] for c in BOUNDARY_CLAIMS}
+
+    def test_extra_reference_frames_break_the_2160p_cell(self):
+        # More references -> more encoder traffic -> the paper's
+        # "doubtful" 2160p@8ch cell tips over first.
+        outcome = check_boundary_pattern(reference_frames=6, chunk_budget=BUDGET)
+        assert not outcome["2160p30@8ch"]
+        # The robust cells survive even then.
+        assert outcome["720p30@1ch"]
+        assert outcome["720p60@2ch"]
+
+
+class TestSweeps:
+    def test_interconnect_robust_around_default(self):
+        result = sweep_interconnect_overhead(
+            values=(0.40, 0.45, 0.50), chunk_budget=BUDGET
+        )
+        for value in (0.40, 0.45, 0.50):
+            assert result.holds_at(value)
+
+    def test_default_marked(self):
+        result = sweep_interconnect_overhead(values=(0.45,), chunk_budget=BUDGET)
+        assert result.default_value == pytest.approx(0.45)
+        assert "(default)" in result.format()
+
+    def test_block_size_default_robust(self):
+        result = sweep_block_bytes(values=(4096, 8192), chunk_budget=BUDGET)
+        assert result.holds_at(4096.0)
+
+    def test_queue_depth_default_robust(self):
+        result = sweep_queue_depth(values=(4, 8), chunk_budget=BUDGET)
+        assert result.holds_at(8.0)
+
+    def test_failed_claims_reported(self):
+        # An absurd interconnect cost breaks feasibility claims and
+        # the failure list says which.
+        result = sweep_interconnect_overhead(values=(2.0,), chunk_budget=BUDGET)
+        assert not result.holds_at(2.0)
+        failed = result.failed_claims_at(2.0)
+        assert failed
+        assert all(claim in {c[0] for c in BOUNDARY_CLAIMS} for claim in failed)
+
+    def test_robust_values_subset(self):
+        result = sweep_reference_frames(values=(3, 4), chunk_budget=BUDGET)
+        assert set(result.robust_values()) <= {3.0, 4.0}
+        assert 4.0 in result.robust_values()

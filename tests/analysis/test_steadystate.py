@@ -1,0 +1,95 @@
+"""Tests for the GOP steady-state analysis."""
+
+import pytest
+
+from repro.analysis.realtime import RealTimeVerdict
+from repro.analysis.steadystate import analyze_gop
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+BUDGET = 40_000
+
+
+@pytest.fixture(scope="module")
+def gop():
+    return analyze_gop(
+        level_by_name("4"),
+        SystemConfig(channels=4, freq_mhz=400.0),
+        gop_length=15,
+        chunk_budget=BUDGET,
+    )
+
+
+class TestIntraUseCase:
+    def test_i_frame_traffic_much_lighter(self):
+        level = level_by_name("4")
+        p_frame = VideoRecordingUseCase(level)
+        i_frame = VideoRecordingUseCase(level, intra_only=True)
+        # No reference reads: the dominant encoder term vanishes.
+        assert i_frame.total_bits_per_frame() < 0.5 * p_frame.total_bits_per_frame()
+
+    def test_image_processing_unchanged(self):
+        level = level_by_name("4")
+        p_frame = VideoRecordingUseCase(level)
+        i_frame = VideoRecordingUseCase(level, intra_only=True)
+        assert i_frame.image_processing_bits_per_frame() == pytest.approx(
+            p_frame.image_processing_bits_per_frame()
+        )
+
+    def test_intra_has_no_reference_buffers_in_reads(self):
+        level = level_by_name("4")
+        uc = VideoRecordingUseCase(level, intra_only=True)
+        encoder = next(s for s in uc.stages() if s.name == "Video encoder")
+        assert not any(buf.startswith("ref_") for buf, _ in encoder.reads)
+
+
+class TestGopAnalysis:
+    def test_p_frame_is_the_worst_frame(self, gop):
+        # Confirms the paper's sizing methodology: the steady-state P
+        # frame bounds the requirement.
+        assert gop.worst_frame_ms == gop.p_frame_ms
+        assert gop.i_frame_ms < gop.p_frame_ms
+
+    def test_i_frame_headroom_substantial(self, gop):
+        assert gop.i_frame_headroom > 0.3
+
+    def test_frame_pattern_structure(self, gop):
+        pattern = gop.frame_pattern_ms
+        assert len(pattern) == 15
+        assert pattern[0] == gop.i_frame_ms
+        assert all(t == gop.p_frame_ms for t in pattern[1:])
+
+    def test_sustained_power_below_p_frame_power(self, gop):
+        assert gop.sustained_power_mw < gop.p_frame_power_mw
+        assert gop.sustained_power_mw > gop.i_frame_power_mw
+
+    def test_worst_frame_verdict_matches_fig4(self, gop):
+        # 1080p30 on four channels passes in Fig. 4; the GOP analysis
+        # must agree on its worst frame.
+        assert gop.worst_frame_verdict is RealTimeVerdict.PASS
+
+    def test_p_frame_matches_regular_simulation(self, gop):
+        from repro.analysis.sweep import simulate_use_case
+
+        point = simulate_use_case(
+            level_by_name("4"),
+            SystemConfig(channels=4, freq_mhz=400.0),
+            chunk_budget=BUDGET,
+        )
+        assert gop.p_frame_ms == pytest.approx(point.access_time_ms, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analyze_gop(
+                level_by_name("4"),
+                SystemConfig(channels=4),
+                gop_length=1,
+                chunk_budget=BUDGET,
+            )
+
+    def test_summary_renders(self, gop):
+        text = gop.summary()
+        assert "GOP power" in text
+        assert "worst-frame" in text

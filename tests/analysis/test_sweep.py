@@ -1,0 +1,75 @@
+"""Tests for the sweep machinery."""
+
+import pytest
+
+from repro.analysis.realtime import RealTimeVerdict
+from repro.analysis.sweep import (
+    channel_sweep_configs,
+    frequency_sweep_configs,
+    simulate_use_case,
+    sweep_use_case,
+)
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.usecase.levels import level_by_name
+
+BUDGET = 40_000
+
+
+class TestSimulateUseCase:
+    def test_point_carries_everything(self):
+        level = level_by_name("3.1")
+        config = SystemConfig(channels=2, freq_mhz=400.0)
+        point = simulate_use_case(level, config, chunk_budget=BUDGET)
+        assert point.level is level
+        assert point.config is config
+        assert point.access_time_ms > 0
+        assert point.total_power_mw > 0
+        assert isinstance(point.verdict, RealTimeVerdict)
+
+    def test_explicit_scale_respected(self):
+        level = level_by_name("3.1")
+        config = SystemConfig(channels=2)
+        point = simulate_use_case(level, config, scale=1 / 128)
+        assert point.result.scale == pytest.approx(1 / 128)
+
+    def test_reported_power_zero_on_fail(self):
+        # A single channel cannot do 1080p60: Fig. 5 reports zero.
+        point = simulate_use_case(
+            level_by_name("4.2"), SystemConfig(channels=1), chunk_budget=BUDGET
+        )
+        assert point.verdict is RealTimeVerdict.FAIL
+        assert point.reported_power_mw == 0.0
+        assert point.total_power_mw > 0.0  # raw value still available
+
+    def test_reported_power_nonzero_on_pass(self):
+        point = simulate_use_case(
+            level_by_name("3.1"), SystemConfig(channels=2), chunk_budget=BUDGET
+        )
+        assert point.reported_power_mw == point.total_power_mw > 0
+
+
+class TestSweep:
+    def test_cartesian_size(self):
+        levels = [level_by_name("3.1"), level_by_name("4")]
+        configs = channel_sweep_configs(SystemConfig(), [1, 2])
+        points = sweep_use_case(levels, configs, chunk_budget=BUDGET)
+        assert len(points) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            sweep_use_case([], [SystemConfig()])
+        with pytest.raises(ConfigurationError):
+            sweep_use_case([level_by_name("3.1")], [])
+
+
+class TestConfigFactories:
+    def test_channel_sweep(self):
+        configs = channel_sweep_configs(SystemConfig(freq_mhz=266.0), [1, 4, 8])
+        assert [c.channels for c in configs] == [1, 4, 8]
+        assert all(c.freq_mhz == 266.0 for c in configs)
+
+    def test_frequency_sweep(self):
+        configs = frequency_sweep_configs(SystemConfig(channels=2), [200.0, 533.0])
+        assert [c.freq_mhz for c in configs] == [200.0, 533.0]
+        assert all(c.channels == 2 for c in configs)

@@ -1,0 +1,91 @@
+"""Tests for the one-call validation harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.validate import validate_configuration
+from repro.controller.mapping import AddressMultiplexing
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.usecase.levels import level_by_name
+
+BUDGET = 40_000
+
+
+class TestValidateConfiguration:
+    @pytest.mark.parametrize("channels", [1, 2, 4, 8])
+    def test_paper_design_points_validate(self, channels):
+        summary = validate_configuration(
+            level_by_name("3.1"),
+            SystemConfig(channels=channels, freq_mhz=400.0),
+            chunk_budget=BUDGET,
+        )
+        assert summary.all_passed, summary.failures()
+
+    @pytest.mark.parametrize(
+        "scheme", list(AddressMultiplexing), ids=lambda s: s.value
+    )
+    def test_every_mapping_validates(self, scheme):
+        config = dataclasses.replace(
+            SystemConfig(channels=2, freq_mhz=400.0), multiplexing=scheme
+        )
+        summary = validate_configuration(
+            level_by_name("3.1"), config, chunk_budget=BUDGET
+        )
+        assert summary.all_passed, summary.failures()
+
+    @pytest.mark.parametrize("freq", [200.0, 333.0, 533.0])
+    def test_every_clock_validates(self, freq):
+        summary = validate_configuration(
+            level_by_name("3.1"),
+            SystemConfig(channels=2, freq_mhz=freq),
+            chunk_budget=BUDGET,
+        )
+        assert summary.all_passed, summary.failures()
+
+    def test_1080p_validates(self):
+        summary = validate_configuration(
+            level_by_name("4"),
+            SystemConfig(channels=4, freq_mhz=400.0),
+            chunk_budget=BUDGET,
+        )
+        assert summary.all_passed, summary.failures()
+
+    def test_four_checks_present(self):
+        summary = validate_configuration(
+            level_by_name("3.1"), SystemConfig(channels=1), chunk_budget=BUDGET
+        )
+        names = [c.name for c in summary.checks]
+        assert names == [
+            "byte conservation",
+            "protocol audit",
+            "locality agreement",
+            "analytic agreement",
+        ]
+
+    def test_impossible_tolerance_fails_cleanly(self):
+        summary = validate_configuration(
+            level_by_name("3.1"),
+            SystemConfig(channels=1),
+            chunk_budget=BUDGET,
+            analytic_tolerance=1e-9,
+        )
+        assert not summary.all_passed
+        assert any("analytic" in f for f in summary.failures())
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ConfigurationError):
+            validate_configuration(
+                level_by_name("3.1"),
+                SystemConfig(channels=1),
+                analytic_tolerance=0.0,
+            )
+
+    def test_format_renders(self):
+        summary = validate_configuration(
+            level_by_name("3.1"), SystemConfig(channels=1), chunk_budget=BUDGET
+        )
+        text = summary.format()
+        assert "[ok" in text
+        assert "protocol audit" in text

@@ -1,0 +1,46 @@
+"""Tests for the DRAM interconnect overhead model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.controller.interconnect import OVERHEAD_SCALE, InterconnectModel
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_default_is_calibrated_nonzero(self):
+        model = InterconnectModel()
+        assert 0.0 < model.address_cycles_per_access < 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(address_cycles_per_access=-0.1)
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(address_cycles_per_access=9.0)
+
+    def test_ideal_variant(self):
+        assert InterconnectModel(0.5).ideal().address_cycles_per_access == 0.0
+
+
+class TestFixedPoint:
+    def test_zero_overhead(self):
+        assert InterconnectModel(0.0).overhead_fixed_point == 0
+
+    def test_whole_cycle(self):
+        assert InterconnectModel(1.0).overhead_fixed_point == OVERHEAD_SCALE
+
+    @given(st.floats(min_value=0.0, max_value=8.0, allow_nan=False))
+    def test_accumulator_converges_to_average(self, overhead):
+        """Simulate the engine's accumulator over many accesses: the
+        inserted stalls must average to the configured overhead."""
+        model = InterconnectModel(address_cycles_per_access=overhead)
+        per = model.overhead_fixed_point
+        acc = 0
+        inserted = 0
+        n = 10_000
+        for _ in range(n):
+            acc += per
+            if acc >= OVERHEAD_SCALE:
+                inserted += acc >> 12
+                acc &= OVERHEAD_SCALE - 1
+        assert inserted / n == pytest.approx(overhead, abs=2e-3)

@@ -1,0 +1,15 @@
+"""Tests for the page-policy enum."""
+
+from repro.controller.pagepolicy import PagePolicy
+
+
+class TestPagePolicy:
+    def test_open_keeps_rows(self):
+        assert PagePolicy.OPEN.keeps_rows_open
+
+    def test_closed_does_not(self):
+        assert not PagePolicy.CLOSED.keeps_rows_open
+
+    def test_str(self):
+        assert str(PagePolicy.OPEN) == "open"
+        assert str(PagePolicy.CLOSED) == "closed"

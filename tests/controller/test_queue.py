@@ -1,0 +1,28 @@
+"""Tests for the command-queue model."""
+
+import pytest
+
+from repro.controller.queue import CommandQueueModel
+from repro.errors import ConfigurationError
+
+
+class TestCommandQueueModel:
+    def test_default_depth(self):
+        assert CommandQueueModel().depth == 8
+
+    def test_ring_size_matches_depth(self):
+        ring = CommandQueueModel(depth=4).make_ring()
+        assert ring == [0, 0, 0, 0]
+
+    def test_rings_are_independent(self):
+        model = CommandQueueModel(depth=2)
+        a = model.make_ring()
+        b = model.make_ring()
+        a[0] = 99
+        assert b[0] == 0
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            CommandQueueModel(depth=0)
+        with pytest.raises(ConfigurationError):
+            CommandQueueModel(depth=5000)

@@ -1,0 +1,82 @@
+"""Tests for master transactions and channel runs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.controller.request import (
+    CHUNK_BYTES,
+    ChannelRun,
+    MasterTransaction,
+    Op,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOp:
+    def test_int_values_for_hot_loop(self):
+        assert int(Op.READ) == 0
+        assert int(Op.WRITE) == 1
+
+    def test_str(self):
+        assert str(Op.READ) == "R"
+        assert str(Op.WRITE) == "W"
+
+
+class TestMasterTransaction:
+    def test_basic_fields(self):
+        txn = MasterTransaction(Op.READ, 0x1000, 256)
+        assert txn.end_address == 0x1100
+        assert txn.arrival_ns == 0.0
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ConfigurationError):
+            MasterTransaction(Op.READ, -1, 16)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            MasterTransaction(Op.READ, 0, 0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ConfigurationError):
+            MasterTransaction(Op.READ, 0, 16, arrival_ns=-1.0)
+
+    def test_chunk_span_aligned(self):
+        txn = MasterTransaction(Op.READ, 0, 64)
+        assert list(txn.chunk_span()) == [0, 1, 2, 3]
+
+    def test_chunk_span_unaligned_head_and_tail(self):
+        # Bytes [8, 24) touch chunks 0 and 1: partial chunks cost a
+        # full burst each.
+        txn = MasterTransaction(Op.WRITE, 8, 16)
+        assert list(txn.chunk_span()) == [0, 1]
+
+    def test_chunk_span_single_byte(self):
+        txn = MasterTransaction(Op.READ, 17, 1)
+        assert list(txn.chunk_span()) == [1]
+
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=1, max_value=2**20),
+    )
+    def test_chunk_span_covers_transaction(self, addr, size):
+        txn = MasterTransaction(Op.READ, addr, size)
+        span = txn.chunk_span()
+        assert span.start * CHUNK_BYTES <= addr
+        assert span.stop * CHUNK_BYTES >= addr + size
+        # Never over-covers by a whole chunk on either side.
+        assert (span.start + 1) * CHUNK_BYTES > addr
+        assert (span.stop - 1) * CHUNK_BYTES < addr + size
+
+
+class TestChannelRun:
+    def test_bytes_moved(self):
+        run = ChannelRun(Op.READ, 0, 10)
+        assert run.bytes_moved == 160
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            ChannelRun(Op.READ, -1, 1)
+        with pytest.raises(ConfigurationError):
+            ChannelRun(Op.READ, 0, 0)
+        with pytest.raises(ConfigurationError):
+            ChannelRun(Op.READ, 0, 1, arrival_cycle=-5)

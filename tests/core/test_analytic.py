@@ -1,0 +1,96 @@
+"""Tests for the closed-form analytic model, including agreement with
+the event-driven simulator."""
+
+import pytest
+
+from repro.core.analytic import AnalyticModel
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.errors import ConfigurationError
+from repro.load.generators import sequential_stream
+from repro.load.model import VideoRecordingLoadModel
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+class TestEstimateBasics:
+    def test_rejects_nonpositive_bytes(self):
+        model = AnalyticModel(SystemConfig())
+        with pytest.raises(ConfigurationError):
+            model.estimate(0)
+
+    def test_efficiency_below_one(self):
+        model = AnalyticModel(SystemConfig())
+        est = model.estimate(10 * 2**20)
+        assert 0.5 < est.bus_efficiency < 1.0
+
+    def test_access_time_linear_in_bytes(self):
+        model = AnalyticModel(SystemConfig())
+        one = model.estimate(2**20)
+        ten = model.estimate(10 * 2**20)
+        assert ten.access_time_ns == pytest.approx(10 * one.access_time_ns, rel=1e-6)
+
+    def test_more_channels_faster(self):
+        est1 = AnalyticModel(SystemConfig(channels=1)).estimate(2**24)
+        est4 = AnalyticModel(SystemConfig(channels=4)).estimate(2**24)
+        assert est4.access_time_ns < est1.access_time_ns / 3.5
+
+    def test_switches_add_time(self):
+        model = AnalyticModel(SystemConfig())
+        quiet = model.estimate(2**20, rw_switches=0)
+        noisy = model.estimate(2**20, rw_switches=1000)
+        assert noisy.access_time_ns > quiet.access_time_ns
+
+    def test_streaming_power_positive(self):
+        est = AnalyticModel(SystemConfig(channels=4)).estimate(2**24)
+        assert est.streaming_power_w > 0
+
+    def test_access_time_ms_property(self):
+        est = AnalyticModel(SystemConfig()).estimate(2**20)
+        assert est.access_time_ms == pytest.approx(est.access_time_ns / 1e6)
+
+
+class TestAgreementWithSimulator:
+    """The analytic model must track the engine within tolerance --
+    this is the cross-check the two implementations give each other."""
+
+    @pytest.mark.parametrize("channels", [1, 2, 4, 8])
+    def test_sequential_stream_agreement(self, channels):
+        total = 4 * 2**20
+        config = SystemConfig(channels=channels, freq_mhz=400.0)
+        txns = sequential_stream(total, block_bytes=4096)
+        sim = MultiChannelMemorySystem(config).run(txns)
+        est = AnalyticModel(config).estimate(total, rw_switches=0)
+        assert est.access_time_ns == pytest.approx(
+            sim.sample_access_time_ns, rel=0.08
+        )
+
+    @pytest.mark.parametrize("freq", [200.0, 400.0, 533.0])
+    def test_frequency_sweep_agreement(self, freq):
+        total = 2 * 2**20
+        config = SystemConfig(channels=2, freq_mhz=freq)
+        txns = sequential_stream(total, block_bytes=4096)
+        sim = MultiChannelMemorySystem(config).run(txns)
+        est = AnalyticModel(config).estimate(total)
+        assert est.access_time_ns == pytest.approx(
+            sim.sample_access_time_ns, rel=0.10
+        )
+
+    def test_use_case_agreement_with_switch_statistics(self):
+        """Feeding the load model's measured summary into the analytic
+        model must predict the simulated frame time within ~12 %."""
+        level = level_by_name("3.1")
+        use_case = VideoRecordingUseCase(level)
+        load = VideoRecordingLoadModel(use_case)
+        txns = load.generate_frame(scale=1 / 64)
+        summary = load.summarize(txns)
+        config = SystemConfig(channels=2, freq_mhz=400.0)
+        sim = MultiChannelMemorySystem(config).run(txns, scale=1 / 64)
+        est = AnalyticModel(config).estimate(
+            summary.total_bytes,
+            rw_switches=summary.rw_switches,
+            read_fraction=summary.read_fraction,
+        )
+        assert est.access_time_ns == pytest.approx(
+            sim.sample_access_time_ns, rel=0.12
+        )

@@ -1,0 +1,35 @@
+"""Tests for the channel wrapper (controller + interconnect + cluster)."""
+
+import pytest
+
+from repro.core.channel import Channel
+from repro.core.config import SystemConfig
+
+
+class TestChannel:
+    def test_run_produces_result(self):
+        channel = Channel(SystemConfig(channels=1))
+        result = channel.run([(0, 0, 16)])
+        assert result.total_chunks == 16
+        assert result.finish_cycle > 0
+
+    def test_energy_of_result(self):
+        channel = Channel(SystemConfig(channels=1))
+        result = channel.run([(0, 0, 256)])
+        energy = channel.energy_of(result)
+        assert energy.total_j > 0
+        assert energy.read_j > 0
+        assert energy.write_j == 0
+
+    def test_energy_scales_with_traffic(self):
+        channel = Channel(SystemConfig(channels=1))
+        small = channel.energy_of(channel.run([(0, 0, 100)]))
+        large = channel.energy_of(channel.run([(0, 0, 1000)]))
+        assert large.read_j == pytest.approx(10 * small.read_j)
+
+    def test_peak_bandwidth(self):
+        channel = Channel(SystemConfig(channels=1, freq_mhz=400.0))
+        assert channel.peak_bandwidth_bytes_per_s == pytest.approx(3.2e9)
+
+    def test_index_stored(self):
+        assert Channel(SystemConfig(channels=4), index=3).index == 3

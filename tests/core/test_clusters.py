@@ -1,0 +1,86 @@
+"""Tests for the channel-cluster extension."""
+
+import pytest
+
+from repro.core.clusters import ChannelCluster, ClusteredMemorySystem
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.load.generators import sequential_stream
+
+
+def make_clusters():
+    return ClusteredMemorySystem(
+        [
+            ChannelCluster("video", SystemConfig(channels=4, freq_mhz=400.0)),
+            ChannelCluster("ui", SystemConfig(channels=2, freq_mhz=400.0)),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_total_channels(self):
+        assert make_clusters().total_channels == 6
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredMemorySystem([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredMemorySystem(
+                [
+                    ChannelCluster("a", SystemConfig(channels=1)),
+                    ChannelCluster("a", SystemConfig(channels=2)),
+                ]
+            )
+
+    def test_rejects_mixed_clocks(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredMemorySystem(
+                [
+                    ChannelCluster("a", SystemConfig(channels=1, freq_mhz=200.0)),
+                    ChannelCluster("b", SystemConfig(channels=1, freq_mhz=400.0)),
+                ]
+            )
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            ChannelCluster("", SystemConfig())
+
+
+class TestRun:
+    def test_independent_workloads(self):
+        clusters = make_clusters()
+        results = clusters.run(
+            {
+                "video": sequential_stream(2**20, block_bytes=4096),
+                "ui": sequential_stream(2**18, block_bytes=4096),
+            }
+        )
+        assert set(results) == {"video", "ui"}
+        assert results["video"].sample_bytes == 2**20
+        assert results["ui"].sample_bytes == 2**18
+
+    def test_idle_cluster_produces_no_result(self):
+        clusters = make_clusters()
+        results = clusters.run({"video": sequential_stream(2**18)})
+        assert "ui" not in results
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_clusters().run({"nope": sequential_stream(1024)})
+
+    def test_clusters_isolated_from_each_other(self):
+        """A heavy workload on one cluster must not slow the other --
+        the paper's rationale for independent clusters."""
+        clusters = make_clusters()
+        light = sequential_stream(2**18, block_bytes=4096)
+        alone = clusters.run({"ui": light})["ui"].sample_access_time_ns
+        heavy = sequential_stream(2**22, block_bytes=4096)
+        together = clusters.run({"ui": light, "video": heavy})
+        assert together["ui"].sample_access_time_ns == pytest.approx(alone)
+
+    def test_describe(self):
+        text = make_clusters().describe()
+        assert "video:4ch" in text
+        assert "ui:2ch" in text

@@ -1,0 +1,128 @@
+"""Tests for the Table II channel interleaving."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.controller.request import MasterTransaction, Op
+from repro.core.interleave import ChannelInterleaver
+from repro.errors import ConfigurationError
+
+
+class TestTable2:
+    """The paper's worked example: 16-byte granules round-robin."""
+
+    def test_addresses_0_to_15_in_bc0(self):
+        inter = ChannelInterleaver(8)
+        for addr in range(16):
+            assert inter.channel_of(addr) == 0
+
+    def test_addresses_16_to_31_in_bc1(self):
+        inter = ChannelInterleaver(8)
+        for addr in range(16, 32):
+            assert inter.channel_of(addr) == 1
+
+    def test_wraps_after_m_channels(self):
+        inter = ChannelInterleaver(4)
+        assert inter.channel_of(16 * 4) == 0
+        assert inter.channel_of(16 * 5) == 1
+
+    def test_table2_rows_structure(self):
+        rows = ChannelInterleaver(8).table2_rows(columns=3)
+        assert rows[0] == ("0..15", "BC 0")
+        assert rows[1] == ("16..31", "BC 1")
+        assert rows[2] == ("32..47", "BC 2")
+        # Wrap-around entry: 16 x M back to BC 0.
+        assert rows[-1] == ("128..143", "BC 0")
+
+    def test_single_channel_everything_in_bc0(self):
+        inter = ChannelInterleaver(1)
+        for addr in (0, 16, 12345, 10**6):
+            assert inter.channel_of(addr) == 0
+
+    def test_rejects_nonstandard_granularity(self):
+        with pytest.raises(ConfigurationError):
+            ChannelInterleaver(4, granularity=64)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigurationError):
+            ChannelInterleaver(0)
+
+
+class TestLocalGlobalMapping:
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(min_value=0, max_value=2**30),
+    )
+    def test_round_trip(self, channels, addr):
+        inter = ChannelInterleaver(channels)
+        ch = inter.channel_of(addr)
+        local = inter.local_address(addr)
+        assert inter.global_address(ch, local) == addr
+
+    def test_local_address_packs_densely(self):
+        inter = ChannelInterleaver(2)
+        # Channel 0 receives global chunks 0, 2, 4... as local 0, 1, 2...
+        assert inter.local_address(0) == 0
+        assert inter.local_address(32) == 16
+        assert inter.local_address(64) == 32
+
+    def test_global_address_validates(self):
+        inter = ChannelInterleaver(4)
+        with pytest.raises(ConfigurationError):
+            inter.global_address(4, 0)
+        with pytest.raises(ConfigurationError):
+            inter.global_address(0, -16)
+
+
+class TestSplitSpan:
+    def test_even_split(self):
+        inter = ChannelInterleaver(4)
+        parts = inter.split_span(0, 7)  # 8 chunks over 4 channels
+        assert parts == [(0, 0, 2), (1, 0, 2), (2, 0, 2), (3, 0, 2)]
+
+    def test_offset_start(self):
+        inter = ChannelInterleaver(4)
+        parts = inter.split_span(2, 5)  # chunks 2,3,4,5
+        as_dict = {ch: (start, count) for ch, start, count in parts}
+        assert as_dict == {2: (0, 1), 3: (0, 1), 0: (1, 1), 1: (1, 1)}
+
+    def test_span_smaller_than_channel_count(self):
+        inter = ChannelInterleaver(8)
+        parts = inter.split_span(0, 2)
+        assert len(parts) == 3  # only 3 channels touched
+
+    def test_rejects_invalid_span(self):
+        with pytest.raises(ConfigurationError):
+            ChannelInterleaver(2).split_span(5, 4)
+        with pytest.raises(ConfigurationError):
+            ChannelInterleaver(2).split_span(-1, 4)
+
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_is_a_partition(self, channels, first, count):
+        """Every chunk of the span lands on exactly one channel, at the
+        right local index -- the correctness core of the simulator."""
+        inter = ChannelInterleaver(channels)
+        last = first + count - 1
+        parts = inter.split_span(first, last)
+        # Counts cover the span exactly.
+        assert sum(c for _, _, c in parts) == count
+        # Each part's chunks map back into the span, in order.
+        seen = set()
+        for ch, start, cnt in parts:
+            for k in range(cnt):
+                g = (start + k) * channels + ch
+                assert first <= g <= last
+                assert g not in seen
+                seen.add(g)
+        assert len(seen) == count
+
+    def test_split_transaction_carries_op(self):
+        inter = ChannelInterleaver(2)
+        txn = MasterTransaction(Op.WRITE, 0, 64)
+        parts = inter.split_transaction(txn)
+        assert all(op == 1 for _, op, _, _ in parts)

@@ -1,0 +1,99 @@
+"""Tests for simulation result containers."""
+
+import pytest
+
+from repro.controller.engine import ChannelResult
+from repro.core.results import SimulationResult
+from repro.dram.commands import CommandCounters, StateDurations
+from repro.errors import ConfigurationError
+
+
+def make_channel(finish=1000, data=800, reads=400, writes=0, freq=400.0):
+    return ChannelResult(
+        finish_cycle=finish,
+        freq_mhz=freq,
+        data_cycles=data,
+        chunks_read=reads,
+        chunks_written=writes,
+        counters=CommandCounters(reads=reads, writes=writes, activates=4),
+        states=StateDurations(active_standby_ns=finish * 2.5),
+    )
+
+
+class TestChannelResult:
+    def test_finish_ns(self):
+        assert make_channel(finish=400).finish_ns == pytest.approx(1000.0)
+
+    def test_bus_efficiency(self):
+        assert make_channel(finish=1000, data=800).bus_efficiency == pytest.approx(0.8)
+
+    def test_bus_efficiency_empty(self):
+        empty = make_channel(finish=0, data=0, reads=0)
+        assert empty.bus_efficiency == 1.0
+
+    def test_effective_bandwidth(self):
+        ch = make_channel(finish=400, reads=400)  # 6400 B in 1000 ns
+        assert ch.effective_bandwidth_bytes_per_s == pytest.approx(6.4e9)
+
+    def test_bytes_moved(self):
+        assert make_channel(reads=10, writes=5).bytes_moved == 240
+
+
+class TestSimulationResult:
+    def test_access_time_is_slowest_channel(self):
+        r = SimulationResult(
+            channels=[make_channel(finish=1000), make_channel(finish=1400)],
+            freq_mhz=400.0,
+        )
+        assert r.sample_access_time_ns == pytest.approx(1400 * 2.5)
+
+    def test_scaling_divides_time_and_bytes(self):
+        r = SimulationResult(
+            channels=[make_channel(finish=1000, reads=100)],
+            freq_mhz=400.0,
+            scale=0.5,
+        )
+        assert r.access_time_ns == pytest.approx(2 * r.sample_access_time_ns)
+        assert r.total_bytes == pytest.approx(2 * r.sample_bytes)
+
+    def test_rejects_empty_channels(self):
+        with pytest.raises(ConfigurationError):
+            SimulationResult(channels=[], freq_mhz=400.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            SimulationResult(channels=[make_channel()], freq_mhz=400.0, scale=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationResult(channels=[make_channel()], freq_mhz=400.0, scale=1.5)
+
+    def test_merged_counters(self):
+        r = SimulationResult(
+            channels=[make_channel(reads=100), make_channel(reads=50, writes=10)],
+            freq_mhz=400.0,
+        )
+        merged = r.merged_counters()
+        assert merged.reads == 150
+        assert merged.writes == 10
+        assert merged.activates == 8
+
+    def test_merged_states(self):
+        r = SimulationResult(
+            channels=[make_channel(finish=1000), make_channel(finish=500)],
+            freq_mhz=400.0,
+        )
+        assert r.merged_states().active_standby_ns == pytest.approx(1500 * 2.5)
+
+    def test_aggregate_bus_efficiency(self):
+        # Two channels, slowest finishes at 1000; data 800 + 400.
+        r = SimulationResult(
+            channels=[
+                make_channel(finish=1000, data=800),
+                make_channel(finish=500, data=400),
+            ],
+            freq_mhz=400.0,
+        )
+        assert r.bus_efficiency == pytest.approx(1200 / 2000)
+
+    def test_describe_contains_access_time(self):
+        r = SimulationResult(channels=[make_channel()], freq_mhz=400.0)
+        assert "ms" in r.describe()

@@ -1,0 +1,140 @@
+"""Tests for the multi-channel memory system."""
+
+import pytest
+
+from repro.controller.request import MasterTransaction, Op
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.errors import AddressError, ConfigurationError
+from repro.load.generators import sequential_stream
+
+
+def make_system(channels=2, freq=400.0):
+    return MultiChannelMemorySystem(SystemConfig(channels=channels, freq_mhz=freq))
+
+
+class TestRun:
+    def test_single_transaction_spreads_over_channels(self):
+        system = make_system(channels=4)
+        result = system.run([MasterTransaction(Op.READ, 0, 256)])
+        # 16 chunks over 4 channels: 4 chunks each.
+        assert [ch.total_chunks for ch in result.channels] == [4, 4, 4, 4]
+
+    def test_all_channels_used_by_one_master_transaction(self):
+        # Section III: interleaved "in such a way that all the channels
+        # can be used in a single master transaction".
+        system = make_system(channels=8)
+        result = system.run([MasterTransaction(Op.READ, 0, 16 * 8)])
+        assert all(ch.total_chunks == 1 for ch in result.channels)
+
+    def test_total_bytes_preserved(self):
+        system = make_system(channels=4)
+        txns = sequential_stream(64 * 1024, block_bytes=4096)
+        result = system.run(txns)
+        assert result.sample_bytes == 64 * 1024
+
+    def test_scale_recorded(self):
+        system = make_system()
+        result = system.run([MasterTransaction(Op.READ, 0, 64)], scale=0.25)
+        assert result.scale == 0.25
+        assert result.access_time_ns == pytest.approx(
+            result.sample_access_time_ns / 0.25
+        )
+
+    def test_empty_channel_allowed(self):
+        # A tiny transaction may touch only some channels.
+        system = make_system(channels=8)
+        result = system.run([MasterTransaction(Op.READ, 0, 16)])
+        assert result.channels[0].total_chunks == 1
+        assert result.channels[1].total_chunks == 0
+
+
+class TestChannelScaling:
+    def test_speedup_near_two_per_doubling(self):
+        # Fig. 3/4's central trend at the system level.
+        txns = sequential_stream(2 * 2**20, block_bytes=4096)
+        times = {}
+        for m in (1, 2, 4):
+            times[m] = make_system(channels=m).run(txns).sample_access_time_ns
+        assert 1.7 <= times[1] / times[2] <= 2.05
+        assert 1.7 <= times[2] / times[4] <= 2.05
+
+    def test_effective_bandwidth_below_peak(self):
+        system = make_system(channels=2)
+        txns = sequential_stream(2**20, block_bytes=4096)
+        result = system.run(txns)
+        assert 0 < result.effective_bandwidth_bytes_per_s < (
+            system.peak_bandwidth_bytes_per_s
+        )
+
+
+class TestCapacityWrap:
+    def test_wrap_maps_modulo_capacity(self):
+        system = make_system(channels=1)
+        capacity = system.config.total_capacity_bytes
+        wrapped = system.run([MasterTransaction(Op.READ, capacity, 16)])
+        direct = system.run([MasterTransaction(Op.READ, 0, 16)])
+        assert wrapped.sample_access_time_ns == direct.sample_access_time_ns
+
+    def test_wrap_disabled_raises(self):
+        system = make_system(channels=1)
+        capacity = system.config.total_capacity_bytes
+        with pytest.raises(AddressError):
+            system.run(
+                [MasterTransaction(Op.READ, capacity - 16, 64)],
+                wrap_capacity=False,
+            )
+
+    def test_transaction_bigger_than_memory_rejected(self):
+        system = make_system(channels=1)
+        capacity = system.config.total_capacity_bytes
+        with pytest.raises(AddressError):
+            system.run([MasterTransaction(Op.READ, 0, capacity + 16)])
+
+    def test_straddling_transaction_splits(self):
+        system = make_system(channels=2)
+        capacity = system.config.total_capacity_bytes
+        result = system.run([MasterTransaction(Op.READ, capacity - 32, 64)])
+        assert result.sample_bytes == 64
+
+
+class TestDescribe:
+    def test_describe_delegates_to_config(self):
+        system = make_system(channels=2)
+        assert system.describe() == system.config.describe()
+
+
+class TestSystemAudit:
+    def test_use_case_run_is_protocol_clean_on_every_channel(self):
+        """End-to-end integration: a real frame fragment through the
+        full multi-channel system yields protocol-clean command
+        streams on every channel."""
+        from repro.load.model import VideoRecordingLoadModel
+        from repro.usecase.levels import level_by_name
+        from repro.usecase.pipeline import VideoRecordingUseCase
+
+        load = VideoRecordingLoadModel(VideoRecordingUseCase(level_by_name("3.1")))
+        txns = load.generate_frame(scale=1 / 128)
+        system = make_system(channels=4)
+        logs = []
+        result = system.run(txns, scale=1 / 128, command_logs=logs)
+        assert len(logs) == 4
+        assert all(log for log in logs)
+        assert system.audit(logs) == []
+        # The logs agree with the counters.
+        from repro.dram.commands import Command
+
+        reads = sum(
+            1 for log in logs for rec in log if rec.command is Command.READ
+        )
+        assert reads == result.merged_counters().reads
+
+    def test_audit_reports_channel_index(self):
+        from repro.dram.commands import Command
+        from repro.dram.protocol import CommandRecord
+
+        system = make_system(channels=2)
+        bogus = [[], [CommandRecord(5, Command.READ, 0, 1)]]
+        problems = system.audit(bogus)
+        assert problems
+        assert problems[0].startswith("channel 1:")

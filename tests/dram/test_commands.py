@@ -1,0 +1,84 @@
+"""Tests for the command set and activity counters."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandCounters, StateDurations
+
+
+class TestCommand:
+    def test_all_paper_operations_present(self):
+        # Section III: "precharges, activations, reads, writes,
+        # refreshes, and power downs".
+        names = {c.value for c in Command}
+        for required in ("PRE", "ACT", "RD", "WR", "REF", "PDE", "PDX"):
+            assert required in names
+
+    def test_str(self):
+        assert str(Command.ACTIVATE) == "ACT"
+
+
+class TestCommandCounters:
+    def test_defaults_to_zero(self):
+        c = CommandCounters()
+        assert c.total_commands() == 0
+
+    def test_total_commands(self):
+        c = CommandCounters(activates=2, precharges=1, reads=10, writes=5,
+                            refreshes=1, power_down_entries=1, power_down_exits=1)
+        assert c.total_commands() == 21
+
+    def test_row_hit_rate_all_hits(self):
+        c = CommandCounters(activates=0, reads=100)
+        assert c.row_hit_rate() == 1.0
+
+    def test_row_hit_rate_mixed(self):
+        c = CommandCounters(activates=10, reads=50, writes=50)
+        assert c.row_hit_rate() == pytest.approx(0.9)
+
+    def test_row_hit_rate_empty_is_vacuously_one(self):
+        assert CommandCounters().row_hit_rate() == 1.0
+
+    def test_row_hit_rate_never_negative(self):
+        c = CommandCounters(activates=5, reads=2)
+        assert c.row_hit_rate() == 0.0
+
+    def test_as_dict_round_trip(self):
+        c = CommandCounters(activates=1, reads=2, writes=3)
+        d = c.as_dict()
+        assert d["activates"] == 1
+        assert d["reads"] == 2
+        assert d["writes"] == 3
+        assert set(d) == {
+            "activates", "precharges", "reads", "writes", "refreshes",
+            "power_down_entries", "power_down_exits",
+        }
+
+    def test_merged_with_adds_fields(self):
+        a = CommandCounters(activates=1, reads=10)
+        b = CommandCounters(activates=2, writes=4, refreshes=1)
+        m = a.merged_with(b)
+        assert m.activates == 3
+        assert m.reads == 10
+        assert m.writes == 4
+        assert m.refreshes == 1
+        # Inputs untouched.
+        assert a.activates == 1 and b.activates == 2
+
+
+class TestStateDurations:
+    def test_total(self):
+        s = StateDurations(
+            precharge_standby_ns=1.0,
+            active_standby_ns=2.0,
+            precharge_powerdown_ns=3.0,
+            active_powerdown_ns=4.0,
+        )
+        assert s.total_ns() == pytest.approx(10.0)
+
+    def test_merged_with(self):
+        a = StateDurations(active_standby_ns=5.0)
+        b = StateDurations(active_standby_ns=7.0, precharge_powerdown_ns=1.0)
+        m = a.merged_with(b)
+        assert m.active_standby_ns == pytest.approx(12.0)
+        assert m.precharge_powerdown_ns == pytest.approx(1.0)
+        assert a.active_standby_ns == pytest.approx(5.0)

@@ -1,0 +1,156 @@
+"""Tests for the calibrated device descriptor."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.datasheet import (
+    NEXT_GEN_MOBILE_DDR,
+    CurrentSet,
+    next_gen_mobile_ddr,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDescriptor:
+    def test_builder_returns_equal_descriptor(self):
+        assert next_gen_mobile_ddr() == NEXT_GEN_MOBILE_DDR
+
+    def test_paper_voltages(self):
+        # Section III: 1.35 V core projection, 1.2 V I/O estimate.
+        assert NEXT_GEN_MOBILE_DDR.core_voltage_v == pytest.approx(1.35)
+        assert NEXT_GEN_MOBILE_DDR.io_voltage_v == pytest.approx(1.2)
+
+    def test_peak_bandwidth_at_400mhz(self):
+        # 32-bit DDR at 400 MHz: 3.2 GB/s per channel.
+        bw = NEXT_GEN_MOBILE_DDR.peak_bandwidth_bytes_per_s(400.0)
+        assert bw == pytest.approx(3.2e9)
+
+    def test_peak_bandwidth_scales_linearly(self):
+        bw200 = NEXT_GEN_MOBILE_DDR.peak_bandwidth_bytes_per_s(200.0)
+        bw400 = NEXT_GEN_MOBILE_DDR.peak_bandwidth_bytes_per_s(400.0)
+        assert bw400 == pytest.approx(2 * bw200)
+
+    def test_peak_bandwidth_validates_frequency(self):
+        with pytest.raises(ConfigurationError):
+            NEXT_GEN_MOBILE_DDR.peak_bandwidth_bytes_per_s(100.0)
+
+    def test_eight_channels_match_xdr_class_bandwidth(self):
+        # Section IV: eight channels at 400 MHz ~ 25.6 GB/s raw,
+        # "similar bandwidth" to the Cell BE XDR interface.
+        total = 8 * NEXT_GEN_MOBILE_DDR.peak_bandwidth_bytes_per_s(400.0)
+        assert total == pytest.approx(25.6e9)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(NEXT_GEN_MOBILE_DDR, core_voltage_v=0.0)
+
+
+class TestCurrentSet:
+    CUR = NEXT_GEN_MOBILE_DDR.currents
+
+    def test_reference_operating_point(self):
+        # Quoted at the Micron datasheet's 200 MHz / 1.8 V point.
+        assert self.CUR.reference_freq_mhz == pytest.approx(200.0)
+        assert self.CUR.reference_voltage_v == pytest.approx(1.8)
+
+    def test_current_ordering_is_physical(self):
+        c = self.CUR
+        # Power-down < standby < burst; refresh is the heaviest
+        # sustained operation.
+        assert c.idd2p_ma < c.idd2n_ma
+        assert c.idd3p_ma < c.idd3n_ma
+        assert c.idd2n_ma <= c.idd3n_ma
+        assert c.idd3n_ma < c.idd4w_ma <= c.idd4r_ma
+        assert c.idd6_ma < c.idd2p_ma
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(self.CUR, idd0_ma=-1.0)
+
+    def test_rejects_burst_below_standby(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(self.CUR, idd4r_ma=1.0)
+
+    def test_rejects_idd0_below_standby(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(self.CUR, idd0_ma=1.0)
+
+    def test_rejects_nonpositive_reference(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(self.CUR, reference_freq_mhz=0.0)
+
+
+class TestAlternativeDevices:
+    def test_contemporary_mobile_ddr_clock_range(self):
+        from repro.dram.datasheet import CONTEMPORARY_MOBILE_DDR
+
+        dev = CONTEMPORARY_MOBILE_DDR
+        assert dev.timing.f_min_mhz == 133.0
+        assert dev.timing.f_max_mhz == 200.0
+        with pytest.raises(ConfigurationError):
+            dev.timing.validate_frequency(400.0)
+
+    def test_contemporary_runs_at_full_voltage(self):
+        from repro.dram.datasheet import CONTEMPORARY_MOBILE_DDR
+
+        assert CONTEMPORARY_MOBILE_DDR.core_voltage_v == pytest.approx(1.8)
+
+    def test_contemporary_has_device_only_powerdown(self):
+        from repro.dram.datasheet import CONTEMPORARY_MOBILE_DDR
+
+        # Real Mobile DDR power-down currents are sub-milliamp, unlike
+        # the next-gen model's effective (channel-inclusive) value.
+        assert CONTEMPORARY_MOBILE_DDR.currents.idd2p_ma < 1.0
+
+    def test_standard_ddr2_burns_more_background(self):
+        from repro.dram.datasheet import NEXT_GEN_MOBILE_DDR, STANDARD_DDR2
+
+        std = STANDARD_DDR2.currents
+        mob = NEXT_GEN_MOBILE_DDR.currents
+        # The reference [14] argument: standard DDR standby/power-down
+        # currents dwarf the mobile part's.
+        assert std.idd2p_ma > 4 * mob.idd2p_ma
+        assert std.idd2n_ma > 2 * mob.idd2n_ma
+        assert std.idd3n_ma > 2 * mob.idd3n_ma
+
+    def test_standard_ddr2_same_clock_range_as_next_gen(self):
+        from repro.dram.datasheet import NEXT_GEN_MOBILE_DDR, STANDARD_DDR2
+
+        assert STANDARD_DDR2.timing.f_min_mhz == (
+            NEXT_GEN_MOBILE_DDR.timing.f_min_mhz
+        )
+        assert STANDARD_DDR2.timing.f_max_mhz == (
+            NEXT_GEN_MOBILE_DDR.timing.f_max_mhz
+        )
+
+    def test_all_devices_distinct_names(self):
+        from repro.dram.datasheet import (
+            CONTEMPORARY_MOBILE_DDR,
+            NEXT_GEN_MOBILE_DDR,
+            STANDARD_DDR2,
+        )
+
+        names = {
+            CONTEMPORARY_MOBILE_DDR.name,
+            NEXT_GEN_MOBILE_DDR.name,
+            STANDARD_DDR2.name,
+        }
+        assert len(names) == 3
+
+    def test_contemporary_simulates_end_to_end(self):
+        import dataclasses
+
+        from repro.analysis.sweep import simulate_use_case
+        from repro.core.config import SystemConfig
+        from repro.dram.datasheet import CONTEMPORARY_MOBILE_DDR
+        from repro.usecase.levels import level_by_name
+
+        config = SystemConfig(
+            channels=4, freq_mhz=200.0, device=CONTEMPORARY_MOBILE_DDR
+        )
+        point = simulate_use_case(
+            level_by_name("3.1"), config, chunk_budget=30_000
+        )
+        assert point.access_time_ms > 0
+        assert point.total_power_mw > 0

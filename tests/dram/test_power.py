@@ -1,0 +1,147 @@
+"""Tests for the current-integration power model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.commands import CommandCounters, StateDurations
+from repro.dram.datasheet import NEXT_GEN_MOBILE_DDR
+from repro.dram.power import EnergyBreakdown, PowerModel, ZERO_ENERGY
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return PowerModel(NEXT_GEN_MOBILE_DDR, 400.0)
+
+
+class TestEnergyBreakdown:
+    def test_total_sums_components(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert e.total_j == pytest.approx(15.0)
+
+    def test_zero_energy(self):
+        assert ZERO_ENERGY.total_j == 0.0
+
+    def test_average_power(self):
+        e = EnergyBreakdown(1e-3, 0, 0, 0, 0)
+        assert e.average_power_w(1e6) == pytest.approx(1.0)  # 1 mJ over 1 ms
+
+    def test_average_power_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            ZERO_ENERGY.average_power_w(0.0)
+
+    def test_merged_with(self):
+        a = EnergyBreakdown(1, 0, 2, 0, 0)
+        b = EnergyBreakdown(1, 1, 1, 1, 1)
+        m = a.merged_with(b)
+        assert m.background_j == 2
+        assert m.read_j == 3
+        assert m.total_j == pytest.approx(a.total_j + b.total_j)
+
+
+class TestOperationEnergies:
+    def test_burst_energy_is_frequency_independent(self):
+        # Charge per bit is fixed: energy per burst must not depend on
+        # the interface clock.
+        m200 = PowerModel(NEXT_GEN_MOBILE_DDR, 200.0)
+        m400 = PowerModel(NEXT_GEN_MOBILE_DDR, 400.0)
+        assert m200.read_burst_energy_j == pytest.approx(m400.read_burst_energy_j)
+        assert m200.write_burst_energy_j == pytest.approx(m400.write_burst_energy_j)
+        assert m200.activate_energy_j == pytest.approx(m400.activate_energy_j)
+
+    def test_read_costs_more_than_write(self, model):
+        # IDD4R > IDD4W in the calibrated set.
+        assert model.read_burst_energy_j > model.write_burst_energy_j
+
+    def test_energies_positive(self, model):
+        assert model.activate_energy_j > 0
+        assert model.refresh_energy_j > 0
+
+    def test_voltage_scaling_is_quadratic(self):
+        import dataclasses
+
+        lowered = dataclasses.replace(NEXT_GEN_MOBILE_DDR, core_voltage_v=0.675)
+        half_v = PowerModel(lowered, 400.0)
+        full_v = PowerModel(NEXT_GEN_MOBILE_DDR, 400.0)
+        # 0.675 / 1.35 = 0.5 -> energies scale by 0.25.
+        assert half_v.read_burst_energy_j == pytest.approx(
+            0.25 * full_v.read_burst_energy_j
+        )
+        assert half_v.precharge_standby_power_w == pytest.approx(
+            0.25 * full_v.precharge_standby_power_w
+        )
+
+
+class TestBackgroundPowers:
+    def test_state_power_ordering(self, model):
+        assert model.precharge_powerdown_power_w < model.precharge_standby_power_w
+        assert model.active_powerdown_power_w < model.active_standby_power_w
+        assert model.precharge_standby_power_w <= model.active_standby_power_w
+
+    def test_standby_scales_with_frequency_powerdown_does_not(self):
+        m200 = PowerModel(NEXT_GEN_MOBILE_DDR, 200.0)
+        m400 = PowerModel(NEXT_GEN_MOBILE_DDR, 400.0)
+        assert m400.active_standby_power_w > m200.active_standby_power_w
+        # CKE low gates the clock tree: power-down power is flat.
+        assert m400.precharge_powerdown_power_w == pytest.approx(
+            m200.precharge_powerdown_power_w
+        )
+
+    def test_idle_channel_power_matches_fig5_delta(self, model):
+        # Fig. 5's single- to 8-channel delta (~150 -> ~205 mW at
+        # 720p30) implies roughly 7-9 mW per mostly-idle channel; the
+        # calibrated power-down power must be in that band.
+        pd_mw = model.precharge_powerdown_power_w * 1e3
+        assert 4.0 <= pd_mw <= 9.0
+
+
+class TestIntegration:
+    def test_zero_activity_zero_energy(self, model):
+        e = model.energy(CommandCounters(), StateDurations())
+        assert e.total_j == 0.0
+
+    def test_energy_linear_in_counts(self, model):
+        one = model.energy(CommandCounters(reads=1), StateDurations())
+        ten = model.energy(CommandCounters(reads=10), StateDurations())
+        assert ten.read_j == pytest.approx(10 * one.read_j)
+
+    def test_energy_additive_over_merges(self, model):
+        c1 = CommandCounters(activates=3, reads=100, writes=50, refreshes=2)
+        c2 = CommandCounters(activates=1, reads=10)
+        s1 = StateDurations(active_standby_ns=1e6)
+        s2 = StateDurations(active_standby_ns=5e5, active_powerdown_ns=1e5)
+        separate = model.energy(c1, s1).total_j + model.energy(c2, s2).total_j
+        merged = model.energy(c1.merged_with(c2), s1.merged_with(s2)).total_j
+        assert merged == pytest.approx(separate)
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**4),
+    )
+    def test_energy_never_negative(self, reads, writes, acts):
+        model = PowerModel(NEXT_GEN_MOBILE_DDR, 400.0)
+        e = model.energy(
+            CommandCounters(reads=reads, writes=writes, activates=acts),
+            StateDurations(active_standby_ns=1000.0),
+        )
+        assert e.total_j >= 0.0
+
+
+class TestStreamingPower:
+    def test_streaming_power_matches_calibration_anchor(self, model):
+        # The Fig. 5 calibration: a fully streaming 400 MHz channel
+        # burns roughly 230-280 mW (see EXPERIMENTS.md derivation).
+        p_mw = model.streaming_power_w() * 1e3
+        assert 200.0 <= p_mw <= 300.0
+
+    def test_read_fraction_bounds_checked(self, model):
+        with pytest.raises(ConfigurationError):
+            model.streaming_power_w(read_fraction=1.5)
+
+    def test_read_heavy_streams_cost_more(self, model):
+        assert model.streaming_power_w(1.0) > model.streaming_power_w(0.0)
+
+    def test_validates_frequency(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(NEXT_GEN_MOBILE_DDR, 100.0)

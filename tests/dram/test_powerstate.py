@@ -1,0 +1,86 @@
+"""Tests for power-down policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.powerstate import (
+    ImmediatePowerDown,
+    NoPowerDown,
+    TimeoutPowerDown,
+)
+from repro.errors import ConfigurationError
+
+T_CKE = 1
+T_XP = 2
+
+
+class TestImmediatePowerDown:
+    """Section III: power down after the first idle clock cycle."""
+
+    def test_zero_gap_stays_up(self):
+        assert ImmediatePowerDown().powered_down_cycles(0, T_CKE, T_XP) == 0
+
+    def test_single_cycle_gap_cannot_honour_tcke(self):
+        # One idle cycle: the detection cycle consumes it.
+        assert ImmediatePowerDown().powered_down_cycles(1, T_CKE, T_XP) == 0
+
+    def test_two_cycle_gap_powers_down_one(self):
+        assert ImmediatePowerDown().powered_down_cycles(2, T_CKE, T_XP) == 1
+
+    def test_long_gap_mostly_powered_down(self):
+        assert ImmediatePowerDown().powered_down_cycles(1000, T_CKE, T_XP) == 999
+
+    def test_exit_penalty(self):
+        policy = ImmediatePowerDown()
+        assert policy.exit_penalty(10, T_XP) == T_XP
+        assert policy.exit_penalty(0, T_XP) == 0
+
+    def test_idles_powered_down(self):
+        assert ImmediatePowerDown().idles_powered_down
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_residency_never_exceeds_gap(self, gap):
+        down = ImmediatePowerDown().powered_down_cycles(gap, T_CKE, T_XP)
+        assert 0 <= down <= max(0, gap)
+
+
+class TestTimeoutPowerDown:
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            TimeoutPowerDown(timeout_cycles=0)
+
+    def test_short_gap_stays_up(self):
+        policy = TimeoutPowerDown(timeout_cycles=16)
+        assert policy.powered_down_cycles(16, T_CKE, T_XP) == 0
+
+    def test_long_gap_powers_down_after_timeout(self):
+        policy = TimeoutPowerDown(timeout_cycles=16)
+        assert policy.powered_down_cycles(100, T_CKE, T_XP) == 84
+
+    def test_name_includes_timeout(self):
+        assert TimeoutPowerDown(timeout_cycles=32).name == "timeout-32"
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_never_more_aggressive_than_immediate(self, timeout, gap):
+        lazy = TimeoutPowerDown(timeout_cycles=timeout)
+        eager = ImmediatePowerDown()
+        assert lazy.powered_down_cycles(gap, T_CKE, T_XP) <= (
+            eager.powered_down_cycles(gap, T_CKE, T_XP)
+        )
+
+
+class TestNoPowerDown:
+    def test_never_powers_down(self):
+        policy = NoPowerDown()
+        for gap in (0, 1, 100, 10**6):
+            assert policy.powered_down_cycles(gap, T_CKE, T_XP) == 0
+
+    def test_idles_in_standby(self):
+        assert not NoPowerDown().idles_powered_down
+
+    def test_no_exit_penalty_ever(self):
+        policy = NoPowerDown()
+        assert policy.exit_penalty(policy.powered_down_cycles(500, T_CKE, T_XP), T_XP) == 0

@@ -1,0 +1,321 @@
+"""Tests for the DRAM protocol checker, and the engine/checker
+cross-validation that anchors the simulator's correctness."""
+
+import pytest
+
+from repro.controller.engine import ChannelEngine
+from repro.controller.interconnect import InterconnectModel
+from repro.controller.mapping import AddressMultiplexing
+from repro.controller.pagepolicy import PagePolicy
+from repro.controller.queue import CommandQueueModel
+from repro.dram.commands import Command
+from repro.dram.datasheet import NEXT_GEN_MOBILE_DDR
+from repro.dram.protocol import CommandRecord, ProtocolChecker
+from repro.errors import ConfigurationError
+
+TIMING = NEXT_GEN_MOBILE_DDR.timing.at_frequency(400.0)
+GEO = NEXT_GEN_MOBILE_DDR.geometry
+# At 400 MHz: tRCD=6, tRP=6, tRAS=16, tRC=22, tRRD=4, CL=6, WL=1,
+# burst=2, tWTR=2, tRFC=29.
+
+
+def checker():
+    return ProtocolChecker(TIMING, GEO)
+
+
+ACT = Command.ACTIVATE
+PRE = Command.PRECHARGE
+RD = Command.READ
+WR = Command.WRITE
+REF = Command.REFRESH
+PREA = Command.PRECHARGE_ALL
+PDE = Command.POWER_DOWN_ENTER
+PDX = Command.POWER_DOWN_EXIT
+
+
+class TestCleanSequences:
+    def test_simple_read(self):
+        log = [
+            CommandRecord(0, ACT, 0, 5),
+            CommandRecord(6, RD, 0, 5),
+        ]
+        assert checker().check(log) == []
+
+    def test_row_cycle(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(6, RD, 0, 1),
+            CommandRecord(16, PRE, 0),
+            CommandRecord(22, ACT, 0, 2),
+            CommandRecord(28, RD, 0, 2),
+        ]
+        assert checker().check(log) == []
+
+    def test_empty_log(self):
+        assert checker().check([]) == []
+
+    def test_power_down_cycle(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(6, RD, 0, 1),
+            CommandRecord(15, PDE),
+            CommandRecord(100, PDX),
+            CommandRecord(102, RD, 0, 1),
+        ]
+        assert checker().check(log) == []
+
+
+class TestViolationsDetected:
+    def _first_rule(self, log):
+        violations = checker().check(log)
+        assert violations, "expected a violation"
+        return {v.rule for v in violations}
+
+    def test_trcd_violation(self):
+        rules = self._first_rule(
+            [CommandRecord(0, ACT, 0, 1), CommandRecord(3, RD, 0, 1)]
+        )
+        assert "tRCD" in rules
+
+    def test_read_to_closed_bank(self):
+        rules = self._first_rule([CommandRecord(10, RD, 0, 1)])
+        assert "state" in rules
+
+    def test_read_wrong_row(self):
+        rules = self._first_rule(
+            [CommandRecord(0, ACT, 0, 1), CommandRecord(6, RD, 0, 2)]
+        )
+        assert "state" in rules
+
+    def test_tras_violation(self):
+        rules = self._first_rule(
+            [
+                CommandRecord(0, ACT, 0, 1),
+                CommandRecord(6, RD, 0, 1),
+                CommandRecord(10, PRE, 0),  # < tRAS=16 after ACT
+            ]
+        )
+        assert "tRAS/tWR" in rules
+
+    def test_trp_violation(self):
+        rules = self._first_rule(
+            [
+                CommandRecord(0, ACT, 0, 1),
+                CommandRecord(6, RD, 0, 1),
+                CommandRecord(16, PRE, 0),
+                CommandRecord(18, ACT, 0, 2),  # < tRP=6 after PRE
+            ]
+        )
+        assert "tRP" in rules
+
+    def test_trc_violation(self):
+        # tRP is honoured (21 - 15 = 6) but ACT-to-ACT is 21 < tRC=22.
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(6, RD, 0, 1),
+            CommandRecord(15, PRE, 0),
+            CommandRecord(21, ACT, 0, 2),
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "tRC" for v in violations)
+
+    def test_trrd_violation(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(2, ACT, 1, 1),  # < tRRD=4
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "tRRD" for v in violations)
+
+    def test_act_to_open_bank(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(25, ACT, 0, 2),  # bank never precharged
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "state" for v in violations)
+
+    def test_refresh_with_open_bank(self):
+        log = [CommandRecord(0, ACT, 0, 1), CommandRecord(10, REF)]
+        violations = checker().check(log)
+        assert any(v.rule == "state" for v in violations)
+
+    def test_command_during_trfc(self):
+        log = [CommandRecord(0, REF), CommandRecord(10, ACT, 0, 1)]  # tRFC=29
+        violations = checker().check(log)
+        assert any(v.rule == "tRFC" for v in violations)
+
+    def test_twtr_violation(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(6, WR, 0, 1),  # data [7, 9)
+            CommandRecord(10, RD, 0, 1),  # < 9 + tWTR = 11
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "tWTR" for v in violations)
+
+    def test_data_bus_overlap(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(6, RD, 0, 1),   # data [12, 14)
+            CommandRecord(7, RD, 0, 1),   # data [13, 15) overlaps
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "data-bus" for v in violations)
+
+    def test_two_commands_same_cycle(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(0, ACT, 1, 1),
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "command-bus" for v in violations)
+
+    def test_command_while_powered_down(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(6, RD, 0, 1),
+            CommandRecord(20, PDE),
+            CommandRecord(25, ACT, 1, 1),
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "power-down" for v in violations)
+
+    def test_txp_violation(self):
+        log = [
+            CommandRecord(0, ACT, 0, 1),
+            CommandRecord(6, RD, 0, 1),
+            CommandRecord(20, PDE),
+            CommandRecord(50, PDX),
+            CommandRecord(51, RD, 0, 1),  # < tXP=2 after exit
+        ]
+        violations = checker().check(log)
+        assert any(v.rule == "tXP" for v in violations)
+
+    def test_assert_clean_raises(self):
+        with pytest.raises(ConfigurationError, match="protocol violation"):
+            checker().assert_clean([CommandRecord(0, RD, 0, 1)])
+
+
+class TestEngineCrossValidation:
+    """The headline correctness property: every command stream the
+    engine emits is protocol-clean, across every configuration axis."""
+
+    STREAMS = {
+        "sequential": [(0, 0, 3000)],
+        "mixed-rw": [(0, 0, 256), (1, 4096, 256), (0, 512, 256), (1, 8192, 128)],
+        "gappy": [(0, 0, 16, 0), (0, 64, 16, 2000), (1, 1024, 16, 6000)],
+        "conflicty": [(0, i * 1024, 4) for i in range(64)],
+    }
+
+    @pytest.mark.parametrize("freq", [200.0, 333.0, 400.0, 533.0])
+    @pytest.mark.parametrize("stream", sorted(STREAMS))
+    def test_default_config_clean(self, freq, stream):
+        engine = ChannelEngine(NEXT_GEN_MOBILE_DDR, freq)
+        log = []
+        engine.run(self.STREAMS[stream], command_log=log)
+        assert engine.make_checker().check(log) == []
+
+    @pytest.mark.parametrize("stream", sorted(STREAMS))
+    def test_brc_clean(self, stream):
+        engine = ChannelEngine(
+            NEXT_GEN_MOBILE_DDR, 400.0, multiplexing=AddressMultiplexing.BRC
+        )
+        log = []
+        engine.run(self.STREAMS[stream], command_log=log)
+        assert engine.make_checker().check(log) == []
+
+    @pytest.mark.parametrize("stream", sorted(STREAMS))
+    def test_closed_page_clean(self, stream):
+        engine = ChannelEngine(
+            NEXT_GEN_MOBILE_DDR, 400.0, page_policy=PagePolicy.CLOSED
+        )
+        log = []
+        engine.run(self.STREAMS[stream], command_log=log)
+        assert engine.make_checker().check(log) == []
+
+    def test_shallow_queue_clean(self):
+        engine = ChannelEngine(
+            NEXT_GEN_MOBILE_DDR, 400.0, queue=CommandQueueModel(depth=1)
+        )
+        log = []
+        engine.run([(0, 0, 2000)], command_log=log)
+        assert engine.make_checker().check(log) == []
+
+    def test_use_case_traffic_clean(self):
+        """A real frame fragment through the full system is clean."""
+        from repro.core.interleave import ChannelInterleaver
+        from repro.load.model import VideoRecordingLoadModel
+        from repro.usecase.levels import level_by_name
+        from repro.usecase.pipeline import VideoRecordingUseCase
+
+        load = VideoRecordingLoadModel(VideoRecordingUseCase(level_by_name("3.1")))
+        txns = load.generate_frame(scale=1 / 128)
+        inter = ChannelInterleaver(2)
+        runs = []
+        for txn in txns:
+            span = txn.chunk_span()
+            for ch, start, count in inter.split_span(span.start, span.stop - 1):
+                if ch == 0:
+                    runs.append((int(txn.op), start, count))
+        engine = ChannelEngine(NEXT_GEN_MOBILE_DDR, 400.0)
+        log = []
+        engine.run(runs, command_log=log)
+        assert engine.make_checker().check(log) == []
+
+    def test_log_matches_counters(self):
+        engine = ChannelEngine(
+            NEXT_GEN_MOBILE_DDR, 400.0, interconnect=InterconnectModel(0.0)
+        )
+        log = []
+        result = engine.run([(0, 0, 600), (1, 8192, 100)], command_log=log)
+        by_cmd = {}
+        for rec in log:
+            by_cmd[rec.command] = by_cmd.get(rec.command, 0) + 1
+        assert by_cmd.get(Command.READ, 0) == result.counters.reads
+        assert by_cmd.get(Command.WRITE, 0) == result.counters.writes
+        assert by_cmd.get(Command.ACTIVATE, 0) == result.counters.activates
+        assert by_cmd.get(Command.REFRESH, 0) == result.counters.refreshes
+
+    def test_logging_does_not_change_timing(self):
+        engine = ChannelEngine(NEXT_GEN_MOBILE_DDR, 400.0)
+        quiet = engine.run([(0, 0, 2000)])
+        logged = engine.run([(0, 0, 2000)], command_log=[])
+        assert quiet.finish_cycle == logged.finish_cycle
+
+
+class TestProtocolFuzz:
+    """Property test: *any* workload yields a protocol-clean stream."""
+
+    import hypothesis.strategies as _st
+    from hypothesis import given as _given, settings as _settings
+
+    run_strategy = _st.lists(
+        _st.tuples(
+            _st.integers(min_value=0, max_value=1),       # op
+            _st.integers(min_value=0, max_value=2**20),   # start chunk
+            _st.integers(min_value=1, max_value=300),     # count
+            _st.integers(min_value=0, max_value=50_000),  # arrival
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+    @_given(
+        runs=run_strategy,
+        freq=_st.sampled_from([200.0, 333.0, 400.0, 533.0]),
+        scheme=_st.sampled_from(list(AddressMultiplexing)),
+        closed=_st.booleans(),
+    )
+    @_settings(max_examples=60, deadline=None)
+    def test_random_workloads_are_protocol_clean(self, runs, freq, scheme, closed):
+        engine = ChannelEngine(
+            NEXT_GEN_MOBILE_DDR,
+            freq,
+            multiplexing=scheme,
+            page_policy=PagePolicy.CLOSED if closed else PagePolicy.OPEN,
+        )
+        log = []
+        engine.run(runs, command_log=log)
+        violations = engine.make_checker().check(log)
+        assert violations == [], violations[:3]

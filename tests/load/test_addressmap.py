@@ -1,0 +1,88 @@
+"""Tests for the buffer address map."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError
+from repro.load.addressmap import BUFFER_ALIGN, AddressMap, Region
+from repro.usecase.pipeline import BufferSpec
+
+
+def make_map():
+    return AddressMap(
+        [
+            BufferSpec("a", 1000),
+            BufferSpec("b", 4096),
+            BufferSpec("c", 17),
+        ]
+    )
+
+
+class TestLayout:
+    def test_regions_aligned(self):
+        amap = make_map()
+        for region in amap.regions():
+            assert region.base % BUFFER_ALIGN == 0
+
+    def test_regions_do_not_overlap(self):
+        regions = make_map().regions()
+        for earlier, later in zip(regions, regions[1:]):
+            assert earlier.end <= later.base
+
+    def test_sizes_rounded_to_granules(self):
+        amap = make_map()
+        assert amap.region("a").size == 1008  # 1000 -> 16-aligned
+        assert amap.region("c").size == 32
+
+    def test_total_span_covers_everything(self):
+        amap = make_map()
+        assert amap.total_span >= max(r.end for r in amap.regions())
+
+    def test_custom_base(self):
+        amap = AddressMap([BufferSpec("x", 64)], base=BUFFER_ALIGN * 2)
+        assert amap.region("x").base == BUFFER_ALIGN * 2
+
+    def test_fits_in(self):
+        amap = make_map()
+        assert amap.fits_in(amap.total_span)
+        assert not amap.fits_in(amap.total_span - 1)
+
+    def test_contains(self):
+        amap = make_map()
+        assert "a" in amap
+        assert "zzz" not in amap
+
+
+class TestValidation:
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([BufferSpec("a", 16), BufferSpec("a", 32)])
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([BufferSpec("a", 16)], align=10)
+
+    def test_rejects_misaligned_base(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([BufferSpec("a", 16)], base=7)
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(AddressError):
+            make_map().region("missing")
+
+
+class TestRegion:
+    def test_offset_address_in_range(self):
+        region = Region("r", base=4096, size=256)
+        assert region.offset_address(0) == 4096
+        assert region.offset_address(255) == 4096 + 255
+
+    def test_offset_address_wraps(self):
+        # Streams larger than the buffer wrap: repeated passes over
+        # the same frame (the encoder's 6x reference reads).
+        region = Region("r", base=4096, size=256)
+        assert region.offset_address(256) == 4096
+        assert region.offset_address(300) == 4096 + 44
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(AddressError):
+            Region("r", base=0, size=0).offset_address(0)

@@ -1,0 +1,95 @@
+"""Tests for synthetic traffic generators."""
+
+import pytest
+
+from repro.controller.request import Op
+from repro.errors import ConfigurationError
+from repro.load.generators import (
+    alternating_rw_stream,
+    random_stream,
+    sequential_stream,
+    strided_stream,
+)
+
+
+class TestSequential:
+    def test_covers_exact_bytes(self):
+        txns = sequential_stream(10_000, block_bytes=4096)
+        assert sum(t.size for t in txns) == 10_000
+        assert [t.size for t in txns] == [4096, 4096, 1808]
+
+    def test_addresses_contiguous(self):
+        txns = sequential_stream(16_384, block_bytes=4096, base_address=64)
+        assert txns[0].address == 64
+        for a, b in zip(txns, txns[1:]):
+            assert b.address == a.end_address
+
+    def test_op_respected(self):
+        txns = sequential_stream(1024, op=Op.WRITE)
+        assert all(t.op is Op.WRITE for t in txns)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sequential_stream(0)
+        with pytest.raises(ConfigurationError):
+            sequential_stream(16, base_address=-1)
+
+
+class TestStrided:
+    def test_stride_applied(self):
+        txns = strided_stream(4, stride_bytes=4096, access_bytes=64)
+        assert [t.address for t in txns] == [0, 4096, 8192, 12288]
+        assert all(t.size == 64 for t in txns)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            strided_stream(0, 4096)
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        a = random_stream(100, 2**20, seed=7)
+        b = random_stream(100, 2**20, seed=7)
+        assert [(t.op, t.address) for t in a] == [(t.op, t.address) for t in b]
+
+    def test_different_seeds_differ(self):
+        a = random_stream(100, 2**20, seed=1)
+        b = random_stream(100, 2**20, seed=2)
+        assert [t.address for t in a] != [t.address for t in b]
+
+    def test_addresses_in_span(self):
+        txns = random_stream(500, 2**16, access_bytes=64)
+        assert all(0 <= t.address and t.end_address <= 2**16 for t in txns)
+
+    def test_addresses_chunk_aligned(self):
+        txns = random_stream(100, 2**20)
+        assert all(t.address % 16 == 0 for t in txns)
+
+    def test_read_fraction(self):
+        reads = sum(
+            1 for t in random_stream(2000, 2**20, read_fraction=0.8, seed=3)
+            if t.op is Op.READ
+        )
+        assert 0.7 < reads / 2000 < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_stream(10, 2**20, read_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            random_stream(10, 32, access_bytes=64)
+
+
+class TestAlternating:
+    def test_strict_alternation(self):
+        txns = alternating_rw_stream(5, block_bytes=1024)
+        assert [t.op for t in txns] == [Op.READ, Op.WRITE] * 5
+
+    def test_regions_disjoint(self):
+        txns = alternating_rw_stream(4, block_bytes=1024)
+        reads = [t for t in txns if t.op is Op.READ]
+        writes = [t for t in txns if t.op is Op.WRITE]
+        assert max(t.end_address for t in reads) <= min(t.address for t in writes)
+
+    def test_custom_write_base(self):
+        txns = alternating_rw_stream(2, block_bytes=64, write_base=2**20)
+        assert txns[1].address == 2**20

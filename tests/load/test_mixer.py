@@ -1,0 +1,104 @@
+"""Tests for transaction-stream merging."""
+
+import pytest
+
+from repro.controller.request import MasterTransaction, Op
+from repro.errors import ConfigurationError
+from repro.load.mixer import (
+    interleave_backlogged,
+    merge_by_arrival,
+    streams_overlap,
+)
+
+
+def stream(base, n, size=64, arrival_step=0.0):
+    return [
+        MasterTransaction(Op.READ, base + i * size, size,
+                          arrival_ns=i * arrival_step)
+        for i in range(n)
+    ]
+
+
+class TestInterleaveBacklogged:
+    def test_round_robin(self):
+        a = stream(0, 3)
+        b = stream(10_000, 3)
+        merged = interleave_backlogged([a, b])
+        assert merged == [a[0], b[0], a[1], b[1], a[2], b[2]]
+
+    def test_uneven_lengths(self):
+        a = stream(0, 4)
+        b = stream(10_000, 1)
+        merged = interleave_backlogged([a, b])
+        assert len(merged) == 5
+        assert merged[1] == b[0]
+        assert merged[2:] == a[1:]
+
+    def test_single_stream_identity(self):
+        a = stream(0, 5)
+        assert interleave_backlogged([a]) == a
+
+    def test_preserves_per_master_order(self):
+        a = stream(0, 10)
+        b = stream(10_000, 7)
+        merged = interleave_backlogged([a, b])
+        a_order = [t for t in merged if t.address < 10_000]
+        assert a_order == a
+
+    def test_rejects_timed_streams(self):
+        timed = stream(0, 2, arrival_step=10.0)
+        with pytest.raises(ConfigurationError):
+            interleave_backlogged([timed])
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            interleave_backlogged([])
+
+
+class TestMergeByArrival:
+    def test_sorted_by_arrival(self):
+        a = stream(0, 3, arrival_step=100.0)       # 0, 100, 200
+        b = stream(10_000, 3, arrival_step=70.0)   # 0, 70, 140
+        merged = merge_by_arrival([a, b])
+        arrivals = [t.arrival_ns for t in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_per_master_order_kept_under_ties(self):
+        a = stream(0, 5)  # all arrival 0
+        b = stream(10_000, 5)
+        merged = merge_by_arrival([a, b])
+        assert [t for t in merged if t.address < 10_000] == a
+        assert [t for t in merged if t.address >= 10_000] == b
+
+    def test_deterministic_tie_break(self):
+        a = stream(0, 2)
+        b = stream(10_000, 2)
+        assert merge_by_arrival([a, b]) == merge_by_arrival([a, b])
+
+    def test_empty_streams_skipped(self):
+        a = stream(0, 2)
+        assert merge_by_arrival([a, []]) == a
+
+
+class TestStreamsOverlap:
+    def test_disjoint(self):
+        assert not streams_overlap([stream(0, 4), stream(10_000, 4)])
+
+    def test_overlapping(self):
+        assert streams_overlap([stream(0, 10), stream(128, 4)])
+
+    def test_empty_streams_ignored(self):
+        assert not streams_overlap([stream(0, 2), []])
+
+
+class TestMergedSimulation:
+    def test_merged_stream_simulates(self):
+        from repro.core.config import SystemConfig
+        from repro.core.system import MultiChannelMemorySystem
+
+        a = stream(0, 100, size=4096)
+        b = stream(2**22, 50, size=4096)
+        assert not streams_overlap([a, b])
+        merged = interleave_backlogged([a, b])
+        result = MultiChannelMemorySystem(SystemConfig(channels=2)).run(merged)
+        assert result.sample_bytes == (100 + 50) * 4096

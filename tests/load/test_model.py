@@ -1,0 +1,132 @@
+"""Tests for the video-recording load model."""
+
+import pytest
+
+from repro.controller.request import Op
+from repro.errors import ConfigurationError
+from repro.load.model import VideoRecordingLoadModel
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+@pytest.fixture
+def load_720p30():
+    return VideoRecordingLoadModel(VideoRecordingUseCase(level_by_name("3.1")))
+
+
+class TestByteConservation:
+    def test_frame_traffic_matches_use_case_total(self, load_720p30):
+        """The transactions must carry the Table I per-frame bytes
+        (within the 16-byte rounding the granularity imposes)."""
+        txns = load_720p30.generate_frame(scale=1.0)
+        total = sum(t.size for t in txns)
+        expected = load_720p30.use_case.total_bytes_per_frame()
+        assert total == pytest.approx(expected, rel=0.002)
+
+    def test_read_write_split_matches_stages(self, load_720p30):
+        txns = load_720p30.generate_frame(scale=1.0)
+        reads = sum(t.size for t in txns if t.op is Op.READ)
+        writes = sum(t.size for t in txns if t.op is Op.WRITE)
+        uc = load_720p30.use_case
+        expected_reads = sum(s.read_bits for s in uc.stages()) / 8
+        expected_writes = sum(s.write_bits for s in uc.stages()) / 8
+        assert reads == pytest.approx(expected_reads, rel=0.002)
+        assert writes == pytest.approx(expected_writes, rel=0.002)
+
+    @pytest.mark.parametrize("scale", [0.5, 0.25, 1 / 64])
+    def test_scaled_traffic_proportional(self, load_720p30, scale):
+        full = sum(t.size for t in load_720p30.generate_frame(scale=1.0))
+        part = sum(t.size for t in load_720p30.generate_frame(scale=scale))
+        assert part == pytest.approx(full * scale, rel=0.01)
+
+    def test_multi_frame(self, load_720p30):
+        one = sum(t.size for t in load_720p30.generate_frame())
+        three = sum(t.size for t in load_720p30.generate_frames(3))
+        assert three == pytest.approx(3 * one, rel=1e-6)
+
+
+class TestTransactionShape:
+    def test_block_size_respected(self, load_720p30):
+        txns = load_720p30.generate_frame(scale=0.1)
+        assert max(t.size for t in txns) <= load_720p30.block_bytes
+
+    def test_all_transactions_16_byte_sized(self, load_720p30):
+        txns = load_720p30.generate_frame(scale=0.1)
+        assert all(t.size % 16 == 0 or t.size < 16 for t in txns)
+
+    def test_addresses_inside_layout(self, load_720p30):
+        span = load_720p30.address_map.total_span
+        txns = load_720p30.generate_frame(scale=0.1)
+        assert all(0 <= t.address and t.end_address <= span for t in txns)
+
+    def test_reads_and_writes_interleave(self, load_720p30):
+        """Copy-type stages must alternate read and write blocks, not
+        read everything then write everything -- this drives the
+        turnaround behaviour the multi-channel results depend on."""
+        txns = load_720p30.generate_frame(scale=0.25)
+        summary = load_720p30.summarize(txns)
+        # Far more switches than stages (10), far fewer than
+        # transactions.
+        assert 50 < summary.rw_switches < summary.transactions
+
+    def test_sequential_within_buffer(self, load_720p30):
+        """Consecutive reads of one stage from one buffer advance
+        sequentially -- "several memory accesses to sequential memory
+        locations"."""
+        txns = load_720p30.generate_frame(scale=0.1)
+        sensor = load_720p30.address_map.region("sensor_raw")
+        reads = [
+            t for t in txns
+            if t.op is Op.READ and sensor.base <= t.address < sensor.end
+        ]
+        assert len(reads) > 2
+        for a, b in zip(reads, reads[1:]):
+            assert b.address >= a.address  # monotone stream
+
+    def test_deterministic(self, load_720p30):
+        a = load_720p30.generate_frame(scale=0.2)
+        b = load_720p30.generate_frame(scale=0.2)
+        assert [(t.op, t.address, t.size) for t in a] == [
+            (t.op, t.address, t.size) for t in b
+        ]
+
+
+class TestSummary:
+    def test_summary_totals(self, load_720p30):
+        txns = load_720p30.generate_frame(scale=0.1)
+        s = load_720p30.summarize(txns)
+        assert s.total_bytes == s.read_bytes + s.write_bytes
+        assert s.transactions == len(txns)
+        assert 0 < s.read_fraction < 1
+
+    def test_summary_empty(self):
+        s = VideoRecordingLoadModel.summarize([])
+        assert s.total_bytes == 0
+        assert s.read_fraction == 0.0
+
+    def test_encoder_makes_traffic_read_heavy(self, load_720p30):
+        # 6x reference reads dominate: the frame is mostly reads.
+        s = load_720p30.summarize(load_720p30.generate_frame(scale=0.2))
+        assert s.read_fraction > 0.55
+
+
+class TestValidation:
+    def test_rejects_bad_scale(self, load_720p30):
+        with pytest.raises(ConfigurationError):
+            load_720p30.generate_frame(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            load_720p30.generate_frame(scale=1.5)
+
+    def test_rejects_bad_block_bytes(self):
+        uc = VideoRecordingUseCase(level_by_name("3.1"))
+        with pytest.raises(ConfigurationError):
+            VideoRecordingLoadModel(uc, block_bytes=100)
+
+    def test_rejects_bad_frames(self, load_720p30):
+        with pytest.raises(ConfigurationError):
+            load_720p30.generate_frames(0)
+
+    def test_frame_bytes_helper(self, load_720p30):
+        assert load_720p30.frame_bytes(0.5) == pytest.approx(
+            load_720p30.use_case.total_bytes_per_frame() / 2
+        )

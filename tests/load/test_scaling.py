@@ -1,0 +1,74 @@
+"""Tests for fractional-workload scaling, including the linearity
+guarantee the experiment layer relies on."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.errors import ConfigurationError
+from repro.load.model import VideoRecordingLoadModel
+from repro.load.scaling import DEFAULT_CHUNK_BUDGET, MIN_SCALE, choose_scale
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+class TestChooseScale:
+    def test_small_workload_unscaled(self):
+        assert choose_scale(1000 * 16) == 1.0
+
+    def test_large_workload_scaled_down(self):
+        scale = choose_scale(100e6, chunk_budget=100_000)
+        assert scale < 1.0
+        assert (100e6 / 16) * scale <= 100_000
+
+    def test_power_of_two_denominator(self):
+        scale = choose_scale(1e9, chunk_budget=100_000)
+        assert (1.0 / scale) == int(1.0 / scale)
+        assert int(1.0 / scale) & (int(1.0 / scale) - 1) == 0
+
+    def test_floor_at_min_scale(self):
+        assert choose_scale(1e15, chunk_budget=1000) == MIN_SCALE
+
+    def test_default_budget_is_reasonable(self):
+        assert DEFAULT_CHUNK_BUDGET >= 100_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            choose_scale(0)
+        with pytest.raises(ConfigurationError):
+            choose_scale(1e6, chunk_budget=10)
+
+
+class TestScalingLinearity:
+    """Simulating a fraction and rescaling must estimate the full run
+    accurately -- the soundness condition from the module docstring."""
+
+    @pytest.mark.parametrize("channels", [1, 4])
+    def test_quarter_vs_half_frame_agree(self, channels):
+        uc = VideoRecordingUseCase(level_by_name("3.1"))
+        load = VideoRecordingLoadModel(uc)
+        config = SystemConfig(channels=channels, freq_mhz=400.0)
+        system = MultiChannelMemorySystem(config)
+
+        estimates = []
+        for scale in (1 / 16, 1 / 32):
+            txns = load.generate_frame(scale=scale)
+            result = system.run(txns, scale=scale)
+            estimates.append(result.access_time_ns)
+        assert estimates[0] == pytest.approx(estimates[1], rel=0.02)
+
+    def test_scaled_estimate_tracks_full_simulation(self):
+        """Ground truth check at a small but unscaled workload."""
+        uc = VideoRecordingUseCase(level_by_name("3.1"))
+        load = VideoRecordingLoadModel(uc)
+        config = SystemConfig(channels=2, freq_mhz=400.0)
+        system = MultiChannelMemorySystem(config)
+
+        # "Full" here is 1/8 of a frame, used as the reference...
+        reference_scale = 1 / 8
+        txns = load.generate_frame(scale=reference_scale)
+        reference = system.run(txns, scale=reference_scale).access_time_ns
+        # ...and the estimate simulates only 1/64 of a frame.
+        txns_small = load.generate_frame(scale=1 / 64)
+        estimate = system.run(txns_small, scale=1 / 64).access_time_ns
+        assert estimate == pytest.approx(reference, rel=0.03)

@@ -1,0 +1,97 @@
+"""Tests for trace file reading and writing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.controller.request import MasterTransaction, Op
+from repro.errors import TraceFormatError
+from repro.load.trace import parse_trace_line, read_trace, write_trace
+
+transactions_strategy = st.lists(
+    st.builds(
+        MasterTransaction,
+        op=st.sampled_from([Op.READ, Op.WRITE]),
+        address=st.integers(min_value=0, max_value=2**40),
+        size=st.integers(min_value=1, max_value=2**20),
+        arrival_ns=st.sampled_from([0.0, 12.5, 1000.0]),
+    ),
+    max_size=50,
+)
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        txns = [
+            MasterTransaction(Op.READ, 0x1000, 4096),
+            MasterTransaction(Op.WRITE, 0x2000, 64, arrival_ns=25.0),
+        ]
+        assert write_trace(path, txns) == 2
+        back = read_trace(path)
+        assert back == txns
+
+    @given(transactions_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, txns):
+        import tempfile, os
+
+        fd, path = tempfile.mkstemp(suffix=".trace")
+        os.close(fd)
+        try:
+            write_trace(path, txns)
+            assert read_trace(path) == txns
+        finally:
+            os.unlink(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\nR 0x10 16\n   \nW 32 16 5.0\n")
+        txns = read_trace(path)
+        assert len(txns) == 2
+        assert txns[0].address == 16
+        assert txns[1].arrival_ns == 5.0
+
+
+class TestParsing:
+    def test_hex_and_decimal_addresses(self):
+        assert parse_trace_line("R 0x100 16").address == 256
+        assert parse_trace_line("R 256 16").address == 256
+
+    def test_case_insensitive_op(self):
+        assert parse_trace_line("r 0 16").op is Op.READ
+        assert parse_trace_line("w 0 16").op is Op.WRITE
+
+    def test_bad_field_count(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_line("R 0x100")
+        with pytest.raises(TraceFormatError):
+            parse_trace_line("R 0 16 0.0 extra")
+
+    def test_bad_op(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_line("X 0 16")
+
+    def test_bad_number(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_line("R zz 16")
+
+    def test_invalid_transaction_values(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace_line("R 0 0")  # zero size
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(TraceFormatError, match="line 7"):
+            parse_trace_line("R nope 16", lineno=7)
+
+
+class TestLoadModelTraces:
+    def test_frame_trace_survives_round_trip(self, tmp_path):
+        from repro.load.model import VideoRecordingLoadModel
+        from repro.usecase.levels import level_by_name
+        from repro.usecase.pipeline import VideoRecordingUseCase
+
+        load = VideoRecordingLoadModel(VideoRecordingUseCase(level_by_name("3.1")))
+        txns = load.generate_frame(scale=1 / 128)
+        path = tmp_path / "frame.trace"
+        write_trace(path, txns)
+        assert read_trace(path) == txns

@@ -1,0 +1,79 @@
+"""Tests for equation (1): interface power."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.interface import (
+    PAPER_INTERFACE,
+    InterfaceParameters,
+    interface_energy_j,
+    interface_power_w,
+)
+
+
+class TestPaperValues:
+    def test_parameter_defaults(self):
+        # Section III's stated assumptions.
+        assert PAPER_INTERFACE.pins == 36
+        assert PAPER_INTERFACE.capacitance_f == pytest.approx(0.4e-12)
+        assert PAPER_INTERFACE.voltage_v == pytest.approx(1.2)
+        assert PAPER_INTERFACE.activity == pytest.approx(0.5)
+
+    def test_approximately_5mw_at_400mhz(self):
+        # "with 400 MHz clock frequency, these assumptions result in
+        # the approximate interface power of 5 mW per channel" --
+        # the exact equation gives 4.15 mW.
+        p = interface_power_w(400.0)
+        assert p == pytest.approx(4.147e-3, rel=1e-3)
+        assert 3e-3 < p < 6e-3
+
+    def test_linear_in_frequency(self):
+        assert interface_power_w(400.0) == pytest.approx(2 * interface_power_w(200.0))
+
+    def test_quadratic_in_voltage(self):
+        doubled = InterfaceParameters(voltage_v=2.4)
+        assert interface_power_w(400.0, doubled) == pytest.approx(
+            4 * interface_power_w(400.0)
+        )
+
+    def test_linear_in_pins_capacitance_activity(self):
+        base = interface_power_w(400.0)
+        assert interface_power_w(
+            400.0, InterfaceParameters(pins=72)
+        ) == pytest.approx(2 * base)
+        assert interface_power_w(
+            400.0, InterfaceParameters(capacitance_f=0.8e-12)
+        ) == pytest.approx(2 * base)
+        assert interface_power_w(
+            400.0, InterfaceParameters(activity=1.0)
+        ) == pytest.approx(2 * base)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            interface_power_w(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            InterfaceParameters(pins=0)
+        with pytest.raises(ConfigurationError):
+            InterfaceParameters(capacitance_f=0.0)
+        with pytest.raises(ConfigurationError):
+            InterfaceParameters(voltage_v=-1.2)
+        with pytest.raises(ConfigurationError):
+            InterfaceParameters(activity=1.5)
+
+
+class TestEnergy:
+    def test_energy_over_window(self):
+        # 4.147 mW over 1 ms = 4.147 uJ.
+        e = interface_energy_j(400.0, 1e6)
+        assert e == pytest.approx(4.147e-6, rel=1e-3)
+
+    def test_zero_window(self):
+        assert interface_energy_j(400.0, 0.0) == 0.0
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ConfigurationError):
+            interface_energy_j(400.0, -1.0)

@@ -1,0 +1,59 @@
+"""Tests for energy-per-bit metrics."""
+
+import pytest
+
+from repro.analysis.sweep import simulate_use_case
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.power.metrics import energy_per_bit, reference_pj_per_bit
+from repro.power.xdr import XDR_CELL_BE
+from repro.usecase.levels import level_by_name
+
+BUDGET = 40_000
+
+
+def metrics_for(level_name, channels):
+    point = simulate_use_case(
+        level_by_name(level_name),
+        SystemConfig(channels=channels, freq_mhz=400.0),
+        chunk_budget=BUDGET,
+    )
+    return energy_per_bit(point.result, point.power)
+
+
+class TestReference:
+    def test_xdr_pj_per_bit(self):
+        # 5 W / 25.6 GB/s = 195.3 pJ/B = 24.4 pJ/bit.
+        assert reference_pj_per_bit(XDR_CELL_BE) == pytest.approx(24.41, abs=0.05)
+
+
+class TestEnergyPerBit:
+    def test_mobile_ddr_beats_xdr_per_bit(self):
+        # The paper's comparison in portable units: at its heaviest
+        # feasible load the 8-channel mobile memory moves bits several
+        # times cheaper than the XDR reference point.
+        m = metrics_for("5.2", 8)
+        assert m.pj_per_bit < 0.6 * reference_pj_per_bit(XDR_CELL_BE)
+
+    def test_light_loads_cost_more_per_bit(self):
+        # Idle background energy is amortised over fewer bits.
+        light = metrics_for("3.1", 8)
+        heavy = metrics_for("5.2", 8)
+        assert light.pj_per_bit > heavy.pj_per_bit
+
+    def test_busy_cost_below_average_cost_when_idle_exists(self):
+        m = metrics_for("3.1", 1)
+        assert m.busy_pj_per_bit <= m.pj_per_bit
+
+    def test_bits_match_table1(self):
+        from repro.usecase.pipeline import VideoRecordingUseCase
+
+        m = metrics_for("3.1", 1)
+        expected = VideoRecordingUseCase(level_by_name("3.1")).total_bits_per_frame()
+        assert m.bits_per_frame == pytest.approx(expected, rel=0.01)
+
+    def test_ratio_to(self):
+        m = metrics_for("3.1", 1)
+        assert m.ratio_to(m.pj_per_bit) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            m.ratio_to(0.0)

@@ -1,0 +1,119 @@
+"""Tests for frame-average power assembly (the Fig. 5 metric)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.dram.powerstate import NoPowerDown
+from repro.errors import ConfigurationError
+from repro.load.model import VideoRecordingLoadModel
+from repro.power.report import FramePowerReport, compute_frame_power
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+def run_720p30(channels=1, scale=1 / 32, power_down=None):
+    config = SystemConfig(channels=channels, freq_mhz=400.0)
+    if power_down is not None:
+        config = dataclasses.replace(config, power_down=power_down)
+    uc = VideoRecordingUseCase(level_by_name("3.1"))
+    load = VideoRecordingLoadModel(uc)
+    result = MultiChannelMemorySystem(config).run(
+        load.generate_frame(scale=scale), scale=scale
+    )
+    return config, result
+
+
+class TestComposition:
+    def test_total_is_dram_plus_interface(self):
+        config, result = run_720p30()
+        report = compute_frame_power(config, result, 33.333)
+        assert report.total_power_w == pytest.approx(
+            report.dram_power_w + report.interface_power_w
+        )
+        assert report.total_power_mw == pytest.approx(report.total_power_w * 1e3)
+
+    def test_interface_is_small_fraction(self):
+        # Fig. 5: the dark interface slice sits thinly on top of the
+        # bars (a few mW per active channel).
+        config, result = run_720p30()
+        report = compute_frame_power(config, result, 33.333)
+        assert report.interface_power_w < 0.05 * report.dram_power_w + 5e-3
+
+    def test_energy_per_frame_consistent(self):
+        config, result = run_720p30()
+        report = compute_frame_power(config, result, 33.333)
+        window_s = max(report.access_time_ms, report.frame_period_ms) * 1e-3
+        assert report.energy_per_frame_j == pytest.approx(
+            report.total_power_w * window_s
+        )
+
+    def test_scaled_and_finer_scaled_agree(self):
+        config, coarse = run_720p30(scale=1 / 16)
+        _, fine = run_720p30(scale=1 / 64)
+        p_coarse = compute_frame_power(config, coarse, 33.333).total_power_w
+        p_fine = compute_frame_power(config, fine, 33.333).total_power_w
+        assert p_coarse == pytest.approx(p_fine, rel=0.03)
+
+
+class TestIdleAccounting:
+    def test_more_idle_channels_add_little_power(self):
+        # The Fig. 5 story: 8 channels cost only modestly more than 1
+        # on the same workload, because idle channels power down.
+        c1, r1 = run_720p30(channels=1)
+        c8, r8 = run_720p30(channels=8)
+        p1 = compute_frame_power(c1, r1, 33.333).total_power_w
+        p8 = compute_frame_power(c8, r8, 33.333).total_power_w
+        assert p8 > p1
+        assert p8 < 1.8 * p1
+
+    def test_no_power_down_costs_much_more_when_idle(self):
+        # Conclusions: "aggressive use of power-down modes is
+        # necessary for energy efficient operation".
+        c_pd, r_pd = run_720p30(channels=8)
+        c_np, r_np = run_720p30(channels=8, power_down=NoPowerDown())
+        p_pd = compute_frame_power(c_pd, r_pd, 33.333).total_power_w
+        p_np = compute_frame_power(c_np, r_np, 33.333).total_power_w
+        assert p_np > 1.5 * p_pd
+
+    def test_idle_window_reduces_average_power(self):
+        # The same traffic averaged over a longer frame period means
+        # lower average power (more power-down time).
+        config, result = run_720p30()
+        p30 = compute_frame_power(config, result, 33.333).total_power_w
+        p15 = compute_frame_power(config, result, 66.667).total_power_w
+        assert p15 < p30
+
+
+class TestRealTimeFlags:
+    def test_meets_realtime(self):
+        config, result = run_720p30(channels=4)
+        report = compute_frame_power(config, result, 33.333)
+        assert report.meets_realtime
+        assert report.meets_realtime_with_margin()
+
+    def test_misses_realtime(self):
+        config, result = run_720p30(channels=1)
+        report = compute_frame_power(config, result, 5.0)  # absurd 200 fps
+        assert not report.meets_realtime
+
+    def test_margin_validation(self):
+        config, result = run_720p30()
+        report = compute_frame_power(config, result, 33.333)
+        with pytest.raises(ConfigurationError):
+            report.meets_realtime_with_margin(margin=1.0)
+
+    def test_rejects_bad_frame_period(self):
+        config, result = run_720p30()
+        with pytest.raises(ConfigurationError):
+            compute_frame_power(config, result, 0.0)
+
+    def test_overrun_averages_over_access_time(self):
+        # When the access time exceeds the frame period the average
+        # window is the access time itself (no negative idle).
+        config, result = run_720p30(channels=1)
+        report = compute_frame_power(config, result, 1.0)
+        assert report.access_time_ms > report.frame_period_ms
+        assert report.total_power_w > 0

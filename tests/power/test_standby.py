@@ -1,0 +1,51 @@
+"""Tests for the standby power analysis."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.power.standby import standby_power
+
+
+class TestStandbyPower:
+    def test_state_ordering(self):
+        report = standby_power(SystemConfig(channels=4, freq_mhz=400.0))
+        # Self refresh < power-down < raw standby.
+        assert report.self_refresh_w < report.precharge_powerdown_w
+        assert report.precharge_powerdown_w < report.precharge_standby_w
+
+    def test_linear_in_channels(self):
+        one = standby_power(SystemConfig(channels=1))
+        eight = standby_power(SystemConfig(channels=8))
+        assert eight.self_refresh_w == pytest.approx(8 * one.self_refresh_w)
+        assert eight.precharge_powerdown_w == pytest.approx(
+            8 * one.precharge_powerdown_w
+        )
+
+    def test_self_refresh_is_sub_milliwatt_per_channel(self):
+        # IDD6 = 0.35 mA at 1.35 V-scaled: well under a milliwatt --
+        # the reason handhelds can keep DRAM contents alive for hours.
+        report = standby_power(SystemConfig(channels=1))
+        assert report.self_refresh_w < 1e-3
+
+    def test_powerdown_saving_substantial(self):
+        report = standby_power(SystemConfig(channels=8))
+        assert report.powerdown_saving > 0.5
+
+    def test_best_state(self):
+        report = standby_power(SystemConfig(channels=2))
+        assert report.best_state_w == report.self_refresh_w
+
+    def test_standard_ddr2_idles_hotter(self):
+        from repro.dram.datasheet import STANDARD_DDR2
+
+        mobile = standby_power(SystemConfig(channels=8))
+        standard = standby_power(
+            SystemConfig(channels=8, device=STANDARD_DDR2)
+        )
+        assert standard.self_refresh_w > 5 * mobile.self_refresh_w
+        assert standard.precharge_powerdown_w > 3 * mobile.precharge_powerdown_w
+
+    def test_summary_renders(self):
+        text = standby_power(SystemConfig(channels=2)).summary()
+        assert "self-refresh" in text
+        assert "mW" in text

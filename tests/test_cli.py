@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def fast_args():
+    # Tiny workload fraction keeps CLI tests quick.
+    return ["--scale", str(1 / 256)]
+
+
+class TestSubcommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Video encoder" in out
+
+    def test_table2_channels(self, capsys):
+        assert main(["table2", "--channels", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "BC 0" in out
+        assert "4 channels" in out
+
+    def test_fig3(self, capsys, fast_args):
+        assert main(fast_args + ["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "Clock [MHz]" in out
+
+    def test_fig4(self, capsys, fast_args):
+        assert main(fast_args + ["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+
+    def test_fig5(self, capsys, fast_args):
+        assert main(fast_args + ["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "mW" in out
+
+    def test_xdr(self, capsys, fast_args):
+        assert main(fast_args + ["xdr"]) == 0
+        out = capsys.readouterr().out
+        assert "XDR" in out
+
+    def test_budget_flag(self, capsys):
+        assert main(["--budget", "20000", "fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+
+class TestArgumentHandling:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_fig4_custom_frequency(self, capsys, fast_args):
+        assert main(fast_args + ["fig4", "--freq", "266"]) == 0
+        assert "266" in capsys.readouterr().out
+
+
+class TestNewSubcommands:
+    def test_breakdown(self, capsys):
+        assert main(["--budget", "30000", "breakdown", "--level", "3.1",
+                     "--channels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage breakdown" in out
+        assert "Video encoder" in out
+
+    def test_explore(self, capsys):
+        assert main(["--budget", "30000", "explore", "--level", "3.2"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum channels" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_dir = tmp_path / "out"
+        assert main(["--budget", "20000", "--csv", str(csv_dir), "fig4"]) == 0
+        assert (csv_dir / "fig4.csv").exists()
+        header = (csv_dir / "fig4.csv").read_text().splitlines()[0]
+        assert header.startswith("level,")
+
+    def test_csv_export_table1(self, tmp_path):
+        csv_dir = tmp_path / "t1"
+        assert main(["--csv", str(csv_dir), "table1"]) == 0
+        assert (csv_dir / "table1.csv").exists()
+
+    def test_chart_flag(self, capsys):
+        assert main(["--budget", "20000", "--chart", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bar characters present
+
+    def test_report(self, tmp_path, capsys):
+        out = tmp_path / "R.md"
+        assert main(["--budget", "30000", "report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "anchors reproduced" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main(["--budget", "30000", "validate", "--level", "3.1",
+                     "--channels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "correctness oracles" in out
+        assert "VALIDATION FAILED" not in out

@@ -1,0 +1,19 @@
+"""Run the docstring examples embedded in the library."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.realtime
+import repro.units
+
+MODULES_WITH_DOCTESTS = [repro.units, repro.analysis.realtime]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} should carry doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,32 @@
+"""Tests for audio stream parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.usecase.audio import AudioStream
+
+
+class TestAudioStream:
+    def test_default_is_negligible_next_to_video(self):
+        audio = AudioStream()
+        assert audio.bitrate_mbps < 1.0
+
+    def test_bits_per_frame(self):
+        audio = AudioStream(bitrate_mbps=0.192)
+        assert audio.bits_per_frame(30) == pytest.approx(6400.0)
+
+    def test_bits_per_frame_scales_with_fps(self):
+        audio = AudioStream()
+        assert audio.bits_per_frame(30) == pytest.approx(2 * audio.bits_per_frame(60))
+
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ConfigurationError):
+            AudioStream(bitrate_mbps=0.0)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ConfigurationError):
+            AudioStream().bits_per_frame(0)
+
+    def test_rejects_bad_metadata(self):
+        with pytest.raises(ConfigurationError):
+            AudioStream(sample_rate_hz=0)

@@ -1,0 +1,87 @@
+"""Tests for the Table I calculator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.usecase.bandwidth import compute_table1
+from repro.usecase.levels import PAPER_LEVELS, level_by_name
+
+
+@pytest.fixture(scope="module")
+def table():
+    return compute_table1()
+
+
+class TestStructure:
+    def test_five_columns(self, table):
+        assert len(table.columns) == 5
+
+    def test_stage_names_in_order(self, table):
+        assert table.stage_names()[0] == "Camera I/F"
+        assert table.stage_names()[-1] == "Memory card"
+
+    def test_column_lookup(self, table):
+        col = table.column_for("4")
+        assert col.level.frame.name == "1080p"
+
+    def test_column_lookup_unknown(self, table):
+        with pytest.raises(ConfigurationError):
+            table.column_for("1.0")
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ConfigurationError):
+            compute_table1([])
+
+
+class TestTotals:
+    def test_frame_total_is_image_plus_coding(self, table):
+        for col in table.columns:
+            assert col.frame_total_bits == pytest.approx(
+                col.image_total_bits + col.coding_total_bits
+            )
+
+    def test_second_total_scales_with_fps(self, table):
+        col = table.column_for("3.2")
+        assert col.second_total_bits == pytest.approx(60 * col.frame_total_bits)
+
+    def test_bandwidth_mb_per_s(self, table):
+        col = table.column_for("3.1")
+        assert col.bandwidth_mb_per_s == pytest.approx(
+            col.second_total_bits / 8e6
+        )
+
+    def test_totals_increase_with_level_demand(self, table):
+        # Demand ordering: 3.1 < 3.2 < 4 < 4.2 < 5.2 in bytes/s.
+        rates = [c.bandwidth_mb_per_s for c in table.columns]
+        assert rates == sorted(rates)
+
+    def test_stage_bits_sum_to_totals(self, table):
+        for col in table.columns:
+            total = sum(bits for _, bits in col.stage_bits)
+            assert total == pytest.approx(col.frame_total_bits)
+
+
+class TestRendering:
+    def test_as_rows_shape(self, table):
+        rows = table.as_rows()
+        # Header + 10 stages + 5 total rows.
+        assert len(rows) == 16
+        assert all(len(r) == 6 for r in rows)
+
+    def test_rows_carry_stage_labels(self, table):
+        labels = [r[0] for r in table.as_rows()]
+        assert "Video encoder" in labels
+        assert "Data Mem. load [MB/s]" in labels
+
+
+class TestCustomisation:
+    def test_kwargs_forwarded_to_use_case(self):
+        base = compute_table1([level_by_name("3.1")])
+        zoomed = compute_table1([level_by_name("3.1")], digizoom=2.0)
+        assert (
+            zoomed.columns[0].image_total_bits < base.columns[0].image_total_bits
+        )
+
+    def test_subset_of_levels(self):
+        table = compute_table1([level_by_name("4"), level_by_name("5.2")])
+        assert [c.level.name for c in table.columns] == ["4", "5.2"]

@@ -1,0 +1,87 @@
+"""Tests for H.264 level-limit validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.usecase.constraints import (
+    check_level,
+    check_paper_levels,
+    macroblocks,
+    max_reference_frames,
+)
+from repro.usecase.levels import PAPER_LEVELS, level_by_name
+
+
+class TestMacroblocks:
+    def test_720p(self):
+        assert macroblocks(1280, 720) == 80 * 45 == 3600
+
+    def test_1088_raster(self):
+        # The paper's 1920x1088 is macroblock-aligned: 120 x 68.
+        assert macroblocks(1920, 1088) == 8160
+
+    def test_rounding_up(self):
+        assert macroblocks(17, 17) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            macroblocks(0, 100)
+
+
+class TestPaperLevelsConform:
+    def test_every_table1_column_is_legal(self):
+        checks = check_paper_levels()
+        for name, check in checks.items():
+            assert check.conformant, (name, check.violations)
+
+    def test_level4_dpb_holds_exactly_four_1080p_references(self):
+        # The independent corroboration of the n_ref = 4 calibration:
+        # 32768 MaxDpbMbs / 8160 MBs = 4.01 -> exactly 4 frames.
+        assert max_reference_frames("4", 1920, 1088) == 4
+
+    def test_level31_allows_five_720p_references(self):
+        assert max_reference_frames("3.1", 1280, 720) == 5
+
+    def test_macroblock_rates_at_the_edge(self):
+        # 720p30 saturates level 3.1's MaxMBPS exactly; 720p60 does
+        # the same for 3.2 -- the levels are chosen tightly.
+        c31 = check_level(level_by_name("3.1"))
+        assert c31.mb_rate == 108_000
+        c32 = check_level(level_by_name("3.2"))
+        assert c32.mb_rate == 216_000
+
+
+class TestViolationsDetected:
+    def test_too_many_references(self):
+        level = dataclasses.replace(level_by_name("4"), reference_frames=8)
+        check = check_level(level)
+        assert not check.conformant
+        assert any("reference frames" in v for v in check.violations)
+
+    def test_excess_bitrate(self):
+        level = dataclasses.replace(level_by_name("3.1"), max_bitrate_mbps=100.0)
+        check = check_level(level)
+        assert any("bitrate" in v for v in check.violations)
+
+    def test_oversized_frame(self):
+        from repro.usecase.formats import FORMAT_2160P
+        from repro.usecase.levels import H264Level
+
+        bogus = H264Level("3.1", FORMAT_2160P, fps=30, max_bitrate_mbps=10.0)
+        check = check_level(bogus)
+        assert any("MaxFS" in v for v in check.violations)
+
+    def test_excess_frame_rate(self):
+        level = dataclasses.replace(level_by_name("3.1"), fps=60)
+        check = check_level(level)
+        assert any("MaxMBPS" in v for v in check.violations)
+
+    def test_unknown_level_rejected(self):
+        from repro.usecase.formats import FORMAT_720P
+        from repro.usecase.levels import H264Level
+
+        odd = H264Level("9.9", FORMAT_720P, fps=30, max_bitrate_mbps=10.0)
+        with pytest.raises(ConfigurationError):
+            check_level(odd)

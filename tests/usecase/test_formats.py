@@ -1,0 +1,73 @@
+"""Tests for pixel and frame formats."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.usecase.formats import (
+    FORMAT_1080P,
+    FORMAT_2160P,
+    FORMAT_720P,
+    FORMAT_WVGA,
+    FrameFormat,
+    PixelFormat,
+)
+
+
+class TestPixelFormat:
+    def test_paper_bit_depths(self):
+        # Table I: "Bayer RGB and YUV422 encodings use 16 bits ...
+        # H.264 encoded frames require 12 bits (YUV420) and the
+        # displayed RGB888 format needs 24 bits per pixel."
+        assert PixelFormat.BAYER_RGB.bits_per_pixel == 16
+        assert PixelFormat.YUV422.bits_per_pixel == 16
+        assert PixelFormat.YUV420.bits_per_pixel == 12
+        assert PixelFormat.RGB888.bits_per_pixel == 24
+
+    def test_frame_bits(self):
+        assert PixelFormat.YUV420.frame_bits(100) == 1200
+
+    def test_frame_bytes_rounds_up(self):
+        assert PixelFormat.YUV420.frame_bytes(1) == 2  # 12 bits -> 2 bytes
+
+    def test_rejects_negative_pixels(self):
+        with pytest.raises(ConfigurationError):
+            PixelFormat.RGB888.frame_bits(-1)
+
+    def test_str(self):
+        assert str(PixelFormat.BAYER_RGB) == "Bayer RGB"
+
+
+class TestFrameFormat:
+    def test_paper_rasters(self):
+        assert (FORMAT_720P.width, FORMAT_720P.height) == (1280, 720)
+        assert (FORMAT_1080P.width, FORMAT_1080P.height) == (1920, 1088)
+        assert (FORMAT_2160P.width, FORMAT_2160P.height) == (3840, 2160)
+        assert (FORMAT_WVGA.width, FORMAT_WVGA.height) == (800, 480)
+
+    def test_pixel_counts(self):
+        assert FORMAT_720P.pixels == 921_600
+        assert FORMAT_1080P.pixels == 2_088_960
+        assert FORMAT_2160P.pixels == 8_294_400
+
+    def test_2160p_is_4x_1080p_area(self):
+        # The paper: 2160p "needs all eight channels" because it is
+        # ~4x the 1080p pixel load (bar the 1088 rounding).
+        ratio = FORMAT_2160P.pixels / FORMAT_1080P.pixels
+        assert ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_border_20_percent(self):
+        bordered = FORMAT_720P.with_border(1.2)
+        assert bordered.width == 1536
+        assert bordered.height == 864
+        assert bordered.pixels == pytest.approx(1.44 * FORMAT_720P.pixels, rel=1e-6)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            FrameFormat("bad", 0, 100)
+
+    def test_rejects_bad_border(self):
+        with pytest.raises(ConfigurationError):
+            FORMAT_720P.with_border(0.0)
+
+    def test_str(self):
+        assert "1280x720" in str(FORMAT_720P)

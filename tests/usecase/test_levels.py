@@ -1,0 +1,63 @@
+"""Tests for the H.264/AVC level table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.usecase.levels import PAPER_LEVELS, H264Level, level_by_name
+from repro.usecase.formats import FORMAT_720P
+
+
+class TestPaperLevels:
+    def test_five_hd_levels(self):
+        # Table I: "the five HD compatible encoding levels".
+        assert len(PAPER_LEVELS) == 5
+        assert [lvl.name for lvl in PAPER_LEVELS] == ["3.1", "3.2", "4", "4.2", "5.2"]
+
+    def test_formats_and_rates(self):
+        table = {lvl.name: (lvl.frame.name, lvl.fps) for lvl in PAPER_LEVELS}
+        assert table == {
+            "3.1": ("720p", 30),
+            "3.2": ("720p", 60),
+            "4": ("1080p", 30),
+            "4.2": ("1080p", 60),
+            "5.2": ("2160p", 30),
+        }
+
+    def test_bitrates_monotone(self):
+        rates = [lvl.max_bitrate_mbps for lvl in PAPER_LEVELS]
+        assert rates == sorted(rates)
+
+    def test_reference_frames_default(self):
+        # The calibration constant: four references for every level.
+        assert all(lvl.reference_frames == 4 for lvl in PAPER_LEVELS)
+
+    def test_frame_period(self):
+        assert level_by_name("3.1").frame_period_ms == pytest.approx(33.33, abs=0.01)
+        assert level_by_name("4.2").frame_period_ms == pytest.approx(16.67, abs=0.01)
+
+    def test_column_title(self):
+        assert level_by_name("4").column_title == "1080p@30 (L4)"
+
+
+class TestLookup:
+    def test_lookup_known(self):
+        assert level_by_name("3.2").fps == 60
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            level_by_name("9.9")
+
+
+class TestValidation:
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ConfigurationError):
+            H264Level("x", FORMAT_720P, fps=0, max_bitrate_mbps=10)
+
+    def test_rejects_bad_bitrate(self):
+        with pytest.raises(ConfigurationError):
+            H264Level("x", FORMAT_720P, fps=30, max_bitrate_mbps=0)
+
+    def test_rejects_zero_references(self):
+        with pytest.raises(ConfigurationError):
+            H264Level("x", FORMAT_720P, fps=30, max_bitrate_mbps=10,
+                      reference_frames=0)

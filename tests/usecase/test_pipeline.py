@@ -1,0 +1,199 @@
+"""Tests for the Fig. 1 pipeline model, including the paper's
+published bandwidth anchors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.usecase.audio import AudioStream
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import StageTraffic, VideoRecordingUseCase
+
+
+@pytest.fixture
+def uc_720p30():
+    return VideoRecordingUseCase(level_by_name("3.1"))
+
+
+@pytest.fixture
+def uc_1080p30():
+    return VideoRecordingUseCase(level_by_name("4"))
+
+
+class TestPaperAnchors:
+    """Every numeric anchor the paper's prose preserves."""
+
+    def test_720p30_total_1_9_gbps(self, uc_720p30):
+        # Introduction: "the bandwidth requirement for the whole video
+        # recording chain (720p) can be diminished down to 1.9 GB/s".
+        assert uc_720p30.bandwidth_bytes_per_s() / 1e9 == pytest.approx(1.9, abs=0.06)
+
+    def test_1080p30_total_4_3_gbps(self, uc_1080p30):
+        # Abstract: "full HDTV (1080p) ... found here to require
+        # 4.3 GB/s memory bandwidth".
+        assert uc_1080p30.bandwidth_bytes_per_s() / 1e9 == pytest.approx(4.3, rel=0.05)
+
+    def test_1080p_to_720p_ratio_2_2(self, uc_720p30, uc_1080p30):
+        # Section IV: 1080p30 "requires approximately 2.2 times more
+        # memory bandwidth compared to 720p".
+        ratio = uc_1080p30.total_bits_per_frame() / uc_720p30.total_bits_per_frame()
+        assert ratio == pytest.approx(2.2, abs=0.05)
+
+    def test_1080p60_total_8_6_gbps(self):
+        # Section II: "for 1080 HD at 60 fps, the total execution
+        # memory bandwidth requirement is estimated to be 8.6 GB/s".
+        uc = VideoRecordingUseCase(level_by_name("4.2"))
+        assert uc.bandwidth_bytes_per_s() / 1e9 == pytest.approx(8.6, rel=0.06)
+
+    def test_2160p30_within_8_channel_reach(self):
+        # Abstract: an 8-channel 400 MHz memory (25.6 GB/s raw) serves
+        # up to 3840x2160@30 -- so the requirement must fall between
+        # the 4-channel and 8-channel capabilities.
+        uc = VideoRecordingUseCase(level_by_name("5.2"))
+        gbps = uc.bandwidth_bytes_per_s() / 1e9
+        assert 12.8 < gbps < 25.6
+
+    def test_encoder_is_single_most_intensive_stage(self, uc_720p30):
+        # Section II: "the single most memory intensive part is the
+        # video encoding".
+        stages = {s.name: s.total_bits for s in uc_720p30.stages()}
+        assert stages["Video encoder"] == max(stages.values())
+
+    def test_displayctrl_constant_across_formats(self, uc_720p30, uc_1080p30):
+        # Table I note: "DisplayCtrl processing is assumed to have
+        # constant memory requirements regardless of original image
+        # size."
+        d720 = {s.name: s.total_bits for s in uc_720p30.stages()}["DisplayCtrl"]
+        d1080 = {s.name: s.total_bits for s in uc_1080p30.stages()}["DisplayCtrl"]
+        assert d720 == pytest.approx(d1080)
+
+
+class TestStageStructure:
+    def test_ten_stages_in_pipeline_order(self, uc_720p30):
+        names = [s.name for s in uc_720p30.stages()]
+        assert names == [
+            "Camera I/F",
+            "Preprocess",
+            "Bayer to YUV",
+            "Video stabilization",
+            "Post proc & digizoom",
+            "Scaling to display",
+            "DisplayCtrl",
+            "Video encoder",
+            "Multiplex",
+            "Memory card",
+        ]
+
+    def test_image_vs_coding_categories(self, uc_720p30):
+        cats = {s.name: s.category for s in uc_720p30.stages()}
+        assert cats["Camera I/F"] == "image"
+        assert cats["DisplayCtrl"] == "image"
+        assert cats["Video encoder"] == "coding"
+        assert cats["Memory card"] == "coding"
+
+    def test_camera_if_writes_sensor_frame_with_border(self, uc_720p30):
+        camera = uc_720p30.stages()[0]
+        assert camera.read_bits == 0
+        # 1.44 N pixels at 16 bit/pel.
+        assert camera.write_bits == pytest.approx(16 * 1.44 * 921_600, rel=0.01)
+
+    def test_totals_combine_reads_and_writes(self, uc_720p30):
+        # "the bandwidth numbers for each processing step combine the
+        # traffic caused by both consumption and production of data."
+        pre = uc_720p30.stages()[1]
+        assert pre.total_bits == pre.read_bits + pre.write_bits
+        assert pre.read_bits == pre.write_bits  # copy-type stage
+
+    def test_encoder_reads_each_reference_six_times(self, uc_720p30):
+        encoder = next(s for s in uc_720p30.stages() if s.name == "Video encoder")
+        ref_reads = [bits for buf, bits in encoder.reads if buf.startswith("ref_")]
+        assert len(ref_reads) == 4  # n_ref
+        n = 921_600
+        for bits in ref_reads:
+            assert bits == pytest.approx(6 * 12 * n)
+
+    def test_stream_conservation(self, uc_720p30):
+        """Every bitstream read has a matching producer: the encoder
+        writes what the mux reads; the mux writes what the card reads.
+        (Audio originates outside the chain, per Fig. 1.)"""
+        stages = {s.name: s for s in uc_720p30.stages()}
+        enc_bs_write = dict(stages["Video encoder"].writes)["video_bs"]
+        mux_v_read = dict(stages["Multiplex"].reads)["video_bs"]
+        assert enc_bs_write == pytest.approx(mux_v_read)
+        mux_out_write = dict(stages["Multiplex"].writes)["mux_out"]
+        card_read = dict(stages["Memory card"].reads)["mux_out"]
+        assert mux_out_write == pytest.approx(card_read)
+
+    def test_stage_traffic_validation(self):
+        with pytest.raises(ConfigurationError):
+            StageTraffic("x", "bogus")
+        with pytest.raises(ConfigurationError):
+            StageTraffic("x", "image", reads=(("buf", -1.0),))
+
+
+class TestBuffers:
+    def test_buffer_names_unique(self, uc_720p30):
+        names = [b.name for b in uc_720p30.buffers()]
+        assert len(names) == len(set(names))
+
+    def test_reference_frame_buffers(self, uc_720p30):
+        names = [b.name for b in uc_720p30.buffers()]
+        for i in range(4):
+            assert f"ref_{i}" in names
+
+    def test_every_stage_buffer_is_declared(self, uc_720p30):
+        declared = {b.name for b in uc_720p30.buffers()}
+        for stage in uc_720p30.stages():
+            for buf, _ in stage.reads + stage.writes:
+                assert buf in declared, f"{stage.name} uses undeclared {buf}"
+
+    def test_reference_buffer_size_is_yuv420_frame(self, uc_720p30):
+        ref = next(b for b in uc_720p30.buffers() if b.name == "ref_0")
+        assert ref.size_bytes == (12 * 921_600 + 7) // 8
+
+
+class TestParameters:
+    def test_digizoom_reduces_downstream_traffic(self):
+        level = level_by_name("3.1")
+        base = VideoRecordingUseCase(level, digizoom=1.0)
+        zoomed = VideoRecordingUseCase(level, digizoom=2.0)
+        # Fig. 1: post-processing emits ~N/(z*z) pixels.
+        assert zoomed.zoomed_pixels == pytest.approx(base.zoomed_pixels / 4, rel=0.01)
+        assert (
+            zoomed.image_processing_bits_per_frame()
+            < base.image_processing_bits_per_frame()
+        )
+
+    def test_encoder_factor_scales_coding_traffic(self):
+        level = level_by_name("3.1")
+        six = VideoRecordingUseCase(level, encoder_factor=6.0)
+        three = VideoRecordingUseCase(level, encoder_factor=3.0)
+        assert six.video_coding_bits_per_frame() > (
+            1.8 * three.video_coding_bits_per_frame()
+        )
+
+    def test_border_factor(self):
+        level = level_by_name("3.1")
+        uc = VideoRecordingUseCase(level, stabilization_border=1.0)
+        assert uc.sensor_frame.pixels == level.frame.pixels
+
+    def test_rejects_bad_parameters(self):
+        level = level_by_name("3.1")
+        with pytest.raises(ConfigurationError):
+            VideoRecordingUseCase(level, digizoom=0.5)
+        with pytest.raises(ConfigurationError):
+            VideoRecordingUseCase(level, display_refresh_hz=0)
+        with pytest.raises(ConfigurationError):
+            VideoRecordingUseCase(level, stabilization_border=0.9)
+        with pytest.raises(ConfigurationError):
+            VideoRecordingUseCase(level, encoder_factor=0)
+
+    def test_stream_rates(self):
+        uc = VideoRecordingUseCase(level_by_name("4"), audio=AudioStream(0.3))
+        assert uc.video_bits_per_frame == pytest.approx(20e6 / 30)
+        assert uc.audio_bits_per_frame == pytest.approx(0.3e6 / 30)
+        assert uc.mux_bits_per_frame == pytest.approx((20e6 + 0.3e6) / 30)
+
+    def test_describe(self, uc_720p30):
+        text = uc_720p30.describe()
+        assert "720p" in text
+        assert "GB/s" in text
