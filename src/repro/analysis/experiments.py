@@ -29,6 +29,7 @@ from repro.analysis.sweep import (
     channel_sweep_configs,
     frequency_sweep_configs,
     simulate_use_case,
+    sweep_use_case,
 )
 from repro.analysis.tables import format_table
 from repro.core.config import (
@@ -131,21 +132,30 @@ def run_fig3(
     base_config: Optional[SystemConfig] = None,
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Fig3Result:
     """Regenerate Fig. 3: sweep the interface clock for the least
-    demanding HD level (3.1: 720p at 30 fps) over 1-8 channels."""
+    demanding HD level (3.1: 720p at 30 fps) over 1-8 channels.
+
+    ``workers`` distributes the (frequency, channel-count) points over
+    worker processes (0 = one per CPU); results are identical."""
     level = level_by_name("3.1")
     base = base_config if base_config is not None else SystemConfig()
     kwargs = {} if chunk_budget is None else {"chunk_budget": chunk_budget}
+    configs = [
+        config
+        for f in frequencies_mhz
+        for config in channel_sweep_configs(base.with_frequency(f), channel_counts)
+    ]
+    points = sweep_use_case(
+        [level], configs, scale=scale, workers=workers, **kwargs
+    )
     access: Dict[float, Dict[int, float]] = {}
     verdicts: Dict[float, Dict[int, RealTimeVerdict]] = {}
-    for f in frequencies_mhz:
-        access[f] = {}
-        verdicts[f] = {}
-        for config in channel_sweep_configs(base.with_frequency(f), channel_counts):
-            point = simulate_use_case(level, config, scale=scale, **kwargs)
-            access[f][config.channels] = point.access_time_ms
-            verdicts[f][config.channels] = point.verdict
+    for point in points:
+        f = point.config.freq_mhz
+        access.setdefault(f, {})[point.config.channels] = point.access_time_ms
+        verdicts.setdefault(f, {})[point.config.channels] = point.verdict
     return Fig3Result(
         level=level,
         frequencies_mhz=tuple(frequencies_mhz),
@@ -207,19 +217,26 @@ def run_fig4(
     base_config: Optional[SystemConfig] = None,
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Fig4Result:
-    """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock."""
+    """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock.
+
+    ``workers`` distributes the (level, channel-count) points over
+    worker processes (0 = one per CPU); results are identical."""
     base = (base_config if base_config is not None else SystemConfig()).with_frequency(
         freq_mhz
     )
     kwargs = {} if chunk_budget is None else {"chunk_budget": chunk_budget}
+    swept = sweep_use_case(
+        levels,
+        channel_sweep_configs(base, channel_counts),
+        scale=scale,
+        workers=workers,
+        **kwargs,
+    )
     points: Dict[str, Dict[int, SweepPoint]] = {}
-    for level in levels:
-        points[level.name] = {}
-        for config in channel_sweep_configs(base, channel_counts):
-            points[level.name][config.channels] = simulate_use_case(
-                level, config, scale=scale, **kwargs
-            )
+    for point in swept:
+        points.setdefault(point.level.name, {})[point.config.channels] = point
     return Fig4Result(
         levels=tuple(levels),
         channel_counts=tuple(channel_counts),
@@ -293,6 +310,7 @@ def run_fig5(
     base_config: Optional[SystemConfig] = None,
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Regenerate Fig. 5.  Shares Fig. 4's sweep (the paper derives
     both from the same simulations)."""
@@ -304,6 +322,7 @@ def run_fig5(
             base_config=base_config,
             scale=scale,
             chunk_budget=chunk_budget,
+            workers=workers,
         )
     )
 
@@ -354,6 +373,7 @@ def run_xdr_comparison(
     reference: XdrReference = XDR_CELL_BE,
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> XdrComparisonResult:
     """Compare the 8-channel configuration's power against the XDR
     reference across the encoding formats (Section IV)."""
@@ -363,6 +383,7 @@ def run_xdr_comparison(
             freq_mhz=freq_mhz,
             scale=scale,
             chunk_budget=chunk_budget,
+            workers=workers,
         )
     config = SystemConfig(channels=channels, freq_mhz=freq_mhz)
     per_level: Dict[str, Tuple[float, float]] = {}

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.realtime import PAPER_MARGIN, RealTimeVerdict
-from repro.analysis.sweep import SweepPoint, simulate_use_case
+from repro.analysis.sweep import SweepPoint, simulate_use_case, sweep_use_case
 from repro.core.config import (
     PAPER_CHANNEL_COUNTS,
     PAPER_FREQUENCIES_MHZ,
@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.load.model import VideoRecordingLoadModel
 from repro.load.pacing import pace_transactions
 from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
+from repro.parallel import resolve_workers
 from repro.power.report import compute_frame_power
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
@@ -44,24 +45,42 @@ def minimum_channels(
     channel_counts: Sequence[int] = PAPER_CHANNEL_COUNTS,
     require_margin: bool = False,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    workers: Optional[int] = None,
 ) -> Optional[int]:
     """Smallest channel count meeting the level's real-time target.
 
     ``require_margin`` demands a full PASS (15 % headroom); otherwise
     MARGINAL counts as feasible, matching the paper's Fig. 4 reading.
     Returns ``None`` when no evaluated count suffices.
+
+    ``workers`` > 1 simulates all evaluated channel counts
+    concurrently and then scans for the smallest feasible one; the
+    sequential default stops at the first success.  Both return the
+    same answer -- every point is an independent simulation.
     """
-    for channels in sorted(channel_counts):
-        point = simulate_use_case(
-            level,
-            SystemConfig(channels=channels, freq_mhz=freq_mhz),
+    counts = sorted(channel_counts)
+    if resolve_workers(workers, len(counts)) > 1:
+        points = sweep_use_case(
+            [level],
+            [SystemConfig(channels=m, freq_mhz=freq_mhz) for m in counts],
             chunk_budget=chunk_budget,
+            workers=workers,
         )
+    else:
+        points = (
+            simulate_use_case(
+                level,
+                SystemConfig(channels=m, freq_mhz=freq_mhz),
+                chunk_budget=chunk_budget,
+            )
+            for m in counts
+        )
+    for point in points:
         if require_margin:
             if point.verdict is RealTimeVerdict.PASS:
-                return channels
+                return point.config.channels
         elif point.verdict.feasible:
-            return channels
+            return point.config.channels
     return None
 
 
@@ -70,24 +89,29 @@ def find_minimum_power_configuration(
     channel_counts: Sequence[int] = PAPER_CHANNEL_COUNTS,
     frequencies_mhz: Sequence[float] = PAPER_FREQUENCIES_MHZ,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    workers: Optional[int] = None,
 ) -> Optional[SweepPoint]:
     """Cheapest (by average power) PASS configuration for ``level``.
 
     Returns ``None`` when nothing in the evaluated grid passes with
-    the processing margin intact.
+    the processing margin intact.  The (channels, clock) grid is
+    exhaustive either way, so ``workers`` > 1 fans it out across
+    processes without changing the answer.
     """
+    configs = [
+        SystemConfig(channels=channels, freq_mhz=freq)
+        for freq in frequencies_mhz
+        for channels in channel_counts
+    ]
+    points = sweep_use_case(
+        [level], configs, chunk_budget=chunk_budget, workers=workers
+    )
     best: Optional[SweepPoint] = None
-    for freq in frequencies_mhz:
-        for channels in channel_counts:
-            point = simulate_use_case(
-                level,
-                SystemConfig(channels=channels, freq_mhz=freq),
-                chunk_budget=chunk_budget,
-            )
-            if point.verdict is not RealTimeVerdict.PASS:
-                continue
-            if best is None or point.power.total_power_w < best.power.total_power_w:
-                best = point
+    for point in points:
+        if point.verdict is not RealTimeVerdict.PASS:
+            continue
+        if best is None or point.power.total_power_w < best.power.total_power_w:
+            best = point
     return best
 
 
@@ -168,6 +192,7 @@ def compare_energy_strategies(
 def conclusions_summary(
     frequencies_mhz: float = 400.0,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    workers: Optional[int] = None,
 ) -> Dict[str, Optional[int]]:
     """The paper's Section V summary as data: minimum channels per
     level at 400 MHz."""
@@ -175,7 +200,10 @@ def conclusions_summary(
 
     return {
         level.name: minimum_channels(
-            level, freq_mhz=frequencies_mhz, chunk_budget=chunk_budget
+            level,
+            freq_mhz=frequencies_mhz,
+            chunk_budget=chunk_budget,
+            workers=workers,
         )
         for level in PAPER_LEVELS
     }

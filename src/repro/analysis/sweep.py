@@ -4,6 +4,12 @@ The central primitive is :func:`simulate_use_case`: build the load
 model for an H.264 level, pick a simulation scale, run the
 multi-channel system and assemble the frame-power report.  The Fig. 3,
 4 and 5 runners are thin sweeps over it.
+
+Sweep points are embarrassingly parallel -- every (configuration,
+level) pair is an independent simulation -- so :func:`sweep_use_case`
+accepts a ``workers`` count and fans whole points out across worker
+processes via :mod:`repro.parallel`.  Results are returned in the same
+order and with the same bit-identical values as a sequential sweep.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from repro.core.system import MultiChannelMemorySystem
 from repro.errors import ConfigurationError
 from repro.load.model import DEFAULT_BLOCK_BYTES, VideoRecordingLoadModel
 from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
+from repro.parallel import parallel_map
 from repro.power.report import FramePowerReport, compute_frame_power
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
@@ -77,29 +84,47 @@ def simulate_use_case(
     )
 
 
+def _sweep_point_job(
+    job: Tuple[H264Level, SystemConfig, Optional[float], int, int]
+) -> SweepPoint:
+    """Simulate one sweep point (pool worker entry point).
+
+    Module-level so it pickles by reference; every argument and the
+    returned :class:`SweepPoint` are plain dataclasses/enums, so the
+    round trip through the pool is lossless.
+    """
+    level, config, scale, chunk_budget, block_bytes = job
+    return simulate_use_case(
+        level,
+        config,
+        scale=scale,
+        chunk_budget=chunk_budget,
+        block_bytes=block_bytes,
+    )
+
+
 def sweep_use_case(
     levels: Sequence[H264Level],
     configs: Sequence[SystemConfig],
     scale: Optional[float] = None,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
-    """Cartesian sweep of levels x configurations."""
+    """Cartesian sweep of levels x configurations.
+
+    ``workers`` fans the (level, config) points out across worker
+    processes (``None``/1 = in-process, 0 = one per CPU); the returned
+    list is in levels-major order and bit-identical either way.
+    """
     if not levels or not configs:
         raise ConfigurationError("sweep needs at least one level and one config")
-    points: List[SweepPoint] = []
-    for level in levels:
-        for config in configs:
-            points.append(
-                simulate_use_case(
-                    level,
-                    config,
-                    scale=scale,
-                    chunk_budget=chunk_budget,
-                    block_bytes=block_bytes,
-                )
-            )
-    return points
+    jobs = [
+        (level, config, scale, chunk_budget, block_bytes)
+        for level in levels
+        for config in configs
+    ]
+    return parallel_map(_sweep_point_job, jobs, workers=workers)
 
 
 def channel_sweep_configs(

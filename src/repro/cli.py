@@ -15,6 +15,10 @@ Usage::
 Every subcommand prints the regenerated table/figure as ASCII; pass
 ``--csv DIR`` to also write the raw data as CSV files.  See
 EXPERIMENTS.md for how the output maps onto the paper's artifacts.
+
+``--workers N`` runs the sweeps behind fig3/fig4/fig5/xdr/explore on N
+worker processes (0 = one per CPU); the artifacts are bit-identical to
+the sequential default.
 """
 
 from __future__ import annotations
@@ -68,6 +72,16 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="simulated-burst budget used for automatic scaling",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep simulation (0 = one per CPU; "
+            "default: in-process); results are bit-identical either way"
+        ),
     )
     parser.add_argument(
         "--csv",
@@ -142,7 +156,12 @@ def _run_command(args: argparse.Namespace) -> List[str]:
         kwargs["scale"] = args.scale
     if args.budget is not None:
         kwargs["chunk_budget"] = args.budget
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
     budget_only = {k: v for k, v in kwargs.items() if k == "chunk_budget"}
+    explore_kwargs = {
+        k: v for k, v in kwargs.items() if k in ("chunk_budget", "workers")
+    }
     csv_dir = _csv_dir(args)
 
     sections: List[str] = []
@@ -228,12 +247,12 @@ def _run_command(args: argparse.Namespace) -> List[str]:
     if command == "explore":
         level = level_by_name(args.level)
         sections.append(f"== Design exploration: {level.column_title} ==")
-        needed = minimum_channels(level, **budget_only)
+        needed = minimum_channels(level, **explore_kwargs)
         if needed is None:
             sections.append("no evaluated channel count meets real time at 400 MHz")
         else:
             sections.append(f"minimum channels at 400 MHz: {needed}")
-        best = find_minimum_power_configuration(level, **budget_only)
+        best = find_minimum_power_configuration(level, **explore_kwargs)
         if best is None:
             sections.append("no configuration passes with the 15 % margin")
         else:

@@ -43,7 +43,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
-from repro.controller.interconnect import OVERHEAD_SCALE, InterconnectModel
+from repro.controller.interconnect import (
+    OVERHEAD_SCALE,
+    OVERHEAD_SHIFT,
+    InterconnectModel,
+)
 from repro.controller.mapping import AddressMapping, AddressMultiplexing
 from repro.controller.pagepolicy import PagePolicy
 from repro.controller.queue import CommandQueueModel
@@ -183,22 +187,26 @@ class ChannelEngine:
         out = []
         for run in runs:
             if isinstance(run, ChannelRun):
-                out.append(
-                    (int(run.op), run.start_chunk, run.count, run.arrival_cycle)
-                )
+                op = int(run.op)
+                start = run.start_chunk
+                count = run.count
+                arrival = run.arrival_cycle
+            elif len(run) == 3:
+                op, start, count = run
+                arrival = 0
             else:
-                if len(run) == 3:
-                    op, start, count = run
-                    arrival = 0
-                else:
-                    op, start, count, arrival = run
-                if op not in (0, 1):
-                    raise ConfigurationError(f"run op must be 0 or 1, got {op!r}")
-                if count <= 0:
-                    raise ConfigurationError(f"run count must be positive, got {count}")
-                if start < 0 or arrival < 0:
-                    raise ConfigurationError("run start/arrival must be non-negative")
-                out.append((op, start, count, arrival))
+                op, start, count, arrival = run
+            # Both forms pass through the same checks: a ChannelRun can
+            # be malformed too (op is not validated at construction, and
+            # frozen dataclasses can still be corrupted), and letting one
+            # through silently corrupts the engine's counters.
+            if op not in (0, 1):
+                raise ConfigurationError(f"run op must be 0 or 1, got {op!r}")
+            if count <= 0:
+                raise ConfigurationError(f"run count must be positive, got {count}")
+            if start < 0 or arrival < 0:
+                raise ConfigurationError("run start/arrival must be non-negative")
+            out.append((op, start, count, arrival))
         return out
 
     def make_checker(self) -> ProtocolChecker:
@@ -274,6 +282,7 @@ class ChannelEngine:
         ovh_per = self.interconnect.overhead_fixed_point
         ovh_acc = 0
         ovh_mask = OVERHEAD_SCALE - 1
+        ovh_shift = OVERHEAD_SHIFT
 
         qdepth = self.queue.depth
         ring = self.queue.make_ring()
@@ -464,7 +473,7 @@ class ChannelEngine:
                 # --- interconnect overhead ----------------------------
                 ovh_acc += ovh_per
                 if ovh_acc >= OVERHEAD_SCALE:
-                    de += ovh_acc >> 12
+                    de += ovh_acc >> ovh_shift
                     ovh_acc &= ovh_mask
 
                 bus_free = de
@@ -494,14 +503,22 @@ class ChannelEngine:
         total_ns = finish * tck
         pd_ns = pd_cycles * tck
         # Under the open-page policy a row is open essentially the whole
-        # busy window; charge non-powered-down time as active standby.
-        # Closed-page leaves banks precharged between accesses instead.
+        # busy window; charge non-powered-down time as active standby
+        # and power-down residency as active power-down (CKE drops with
+        # rows still open).  Closed-page leaves all banks precharged
+        # between accesses, so both its standby time and its power-down
+        # residency belong to the precharged states (IDD2N/IDD2P rather
+        # than IDD3N/IDD3P).
         if closed_page:
             active_ns = 0.0
             pre_standby_ns = max(0.0, total_ns - pd_ns)
+            pre_pd_ns = pd_ns
+            act_pd_ns = 0.0
         else:
             active_ns = max(0.0, total_ns - pd_ns)
             pre_standby_ns = 0.0
+            pre_pd_ns = 0.0
+            act_pd_ns = pd_ns
 
         counters = CommandCounters(
             activates=n_act,
@@ -515,8 +532,8 @@ class ChannelEngine:
         states = StateDurations(
             precharge_standby_ns=pre_standby_ns,
             active_standby_ns=active_ns,
-            precharge_powerdown_ns=0.0,
-            active_powerdown_ns=pd_ns,
+            precharge_powerdown_ns=pre_pd_ns,
+            active_powerdown_ns=act_pd_ns,
         )
         return ChannelResult(
             finish_cycle=finish,

@@ -29,7 +29,15 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 
 #: Fixed-point denominator for the per-access overhead accumulator.
+#: Must be a power of two: the engine's hot loop reduces the
+#: accumulator with the shift/mask pair derived below.
 OVERHEAD_SCALE = 4096
+
+#: log2(OVERHEAD_SCALE), derived (not hardcoded) so the engine's
+#: shift can never drift out of sync with the scale.
+OVERHEAD_SHIFT = OVERHEAD_SCALE.bit_length() - 1
+if OVERHEAD_SCALE != 1 << OVERHEAD_SHIFT:  # pragma: no cover
+    raise AssertionError("OVERHEAD_SCALE must be a power of two")
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -49,16 +50,19 @@ class MasterTransaction:
     op: Op
     address: int
     size: int
-    #: Earliest issue time in nanoseconds (0 = backlogged: the request
-    #: is ready as soon as the memory can take it).
-    arrival_ns: float = 0.0
+    #: Earliest issue time in nanoseconds.  ``0.0`` (the default) and
+    #: ``None`` both mean backlogged: the request is ready as soon as
+    #: the memory can take it.  Consumers must test ``is not None``
+    #: rather than truthiness -- an arrival of exactly ``0.0`` ns is a
+    #: valid timestamp, not a missing one.
+    arrival_ns: Optional[float] = 0.0
 
     def __post_init__(self) -> None:
         if self.address < 0:
             raise ConfigurationError(f"address must be >= 0, got {self.address}")
         if self.size <= 0:
             raise ConfigurationError(f"size must be positive, got {self.size}")
-        if self.arrival_ns < 0:
+        if self.arrival_ns is not None and self.arrival_ns < 0:
             raise ConfigurationError(
                 f"arrival_ns must be >= 0, got {self.arrival_ns}"
             )

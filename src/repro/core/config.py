@@ -46,6 +46,12 @@ class SystemConfig:
     interconnect: InterconnectModel = field(default_factory=InterconnectModel)
     #: Controller command-queue model.
     queue: CommandQueueModel = field(default_factory=CommandQueueModel)
+    #: Worker processes :meth:`~repro.core.system.MultiChannelMemorySystem.run`
+    #: may use to simulate channels concurrently.  1 (default) runs
+    #: everything in-process; 0 means one worker per available CPU; N
+    #: caps the pool at N processes.  Results are bit-identical either
+    #: way -- see :mod:`repro.parallel` and docs/architecture.md.
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.channels < 1 or self.channels > 64:
@@ -56,6 +62,11 @@ class SystemConfig:
             raise ConfigurationError(
                 "channel count must be a power of two for the Table II "
                 f"interleaving, got {self.channels}"
+            )
+        if self.parallelism < 0 or self.parallelism > 256:
+            raise ConfigurationError(
+                f"parallelism must be in [0, 256] (0 = one worker per "
+                f"CPU), got {self.parallelism}"
             )
         self.device.timing.validate_frequency(self.freq_mhz)
 
@@ -82,6 +93,10 @@ class SystemConfig:
     def with_frequency(self, freq_mhz: float) -> "SystemConfig":
         """Return a copy with a different interface clock."""
         return replace(self, freq_mhz=freq_mhz)
+
+    def with_parallelism(self, parallelism: int) -> "SystemConfig":
+        """Return a copy with a different simulation worker count."""
+        return replace(self, parallelism=parallelism)
 
     def describe(self) -> str:
         """One-line human-readable description for reports."""

@@ -7,19 +7,50 @@ interleaving is a perfect round-robin, the master stream is processed
 in order per channel, and the access-time metric is the completion of
 the *last* channel -- there is no cross-channel ordering the split
 could violate.
+
+That exact independence is what the parallel execution layer exploits:
+:meth:`MultiChannelMemorySystem.run` can fan the per-channel streams
+out over worker processes (``config.parallelism`` or ``workers=``) and
+the results are bit-identical to the sequential path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.controller.engine import ChannelResult
 from repro.controller.request import MasterTransaction
 from repro.core.channel import Channel
 from repro.core.config import SystemConfig
 from repro.core.interleave import ChannelInterleaver
 from repro.core.results import SimulationResult
 from repro.errors import AddressError, ConfigurationError
+from repro.parallel import parallel_map, resolve_workers
 from repro.units import clock_period_ns
+
+#: Below this many queued bursts a run stays in-process even when
+#: parallelism is enabled: worker start-up (tens of milliseconds)
+#: would dominate the few milliseconds of simulation.  The fallback is
+#: deterministic -- it produces the identical result, just without the
+#: pool.
+PARALLEL_MIN_CHUNKS = 32_768
+
+#: Sub-cycle slack for the arrival-time conversion: an arrival within
+#: this many cycles of a clock edge (femtoseconds of real time) is
+#: treated as on the edge, absorbing float rounding in ns arithmetic.
+_ARRIVAL_EPSILON_CYCLES = 1e-6
+
+
+def _run_channel_job(
+    job: Tuple[SystemConfig, int, list]
+) -> ChannelResult:
+    """Simulate one channel's access stream (pool worker entry point).
+
+    Module-level so it pickles by reference; the channel is rebuilt
+    inside the worker from the (picklable) configuration.
+    """
+    config, index, runs = job
+    return Channel(config, index=index).run(runs)
 
 
 class MultiChannelMemorySystem:
@@ -41,6 +72,7 @@ class MultiChannelMemorySystem:
         scale: float = 1.0,
         wrap_capacity: bool = True,
         command_logs: Optional[List[list]] = None,
+        workers: Optional[int] = None,
     ) -> SimulationResult:
         """Simulate a stream of master transactions.
 
@@ -64,12 +96,22 @@ class MultiChannelMemorySystem:
             Pass an empty list to collect one per-channel command log
             (lists of :class:`~repro.dram.protocol.CommandRecord`) for
             protocol auditing; see :meth:`audit`.
+        workers:
+            Worker processes for simulating the per-channel streams
+            concurrently; overrides ``config.parallelism`` when given
+            (``None`` defers to the config, 0 = one per CPU).  The
+            channels are exactly independent (see the module
+            docstring), so parallel results are bit-identical to
+            sequential ones.  Small runs (< ``PARALLEL_MIN_CHUNKS``
+            bursts) and audit runs (``command_logs``) always execute
+            in-process -- see :mod:`repro.parallel` for the rationale.
         """
         per_channel: List[list] = [[] for _ in range(self.config.channels)]
         capacity = self.config.total_capacity_bytes
         total_chunks = capacity >> 4
         tck = self._tck_ns
         split_span = self.interleaver.split_span
+        queued_chunks = 0
 
         for txn in transactions:
             if txn.end_address > capacity and not wrap_capacity:
@@ -77,7 +119,19 @@ class MultiChannelMemorySystem:
                     f"transaction [{txn.address:#x}, {txn.end_address:#x}) "
                     f"exceeds total capacity {capacity:#x}"
                 )
-            arrival_cycle = int(txn.arrival_ns / tck) if txn.arrival_ns else 0
+            # Explicit None test: an arrival of exactly 0.0 ns is a
+            # timestamp, not a missing one (both map to cycle 0, but
+            # truthiness would also swallow a future Optional misuse).
+            # The conversion rounds *up*: an arrival strictly inside
+            # cycle k cannot issue at k -- truncation placed it one
+            # cycle early.
+            if txn.arrival_ns is None:
+                arrival_cycle = 0
+            else:
+                arrival_f = txn.arrival_ns / tck
+                arrival_cycle = int(arrival_f)
+                if arrival_f - arrival_cycle > _ARRIVAL_EPSILON_CYCLES:
+                    arrival_cycle += 1
             span = txn.chunk_span()
             op = int(txn.op)
             first = span.start % total_chunks
@@ -93,8 +147,14 @@ class MultiChannelMemorySystem:
                     per_channel[ch].append((op, start, count, arrival_cycle))
                 first = 0
                 remaining -= take
+            queued_chunks += len(span)
 
         if command_logs is not None:
+            # Audit path: always in-process.  Per-command logs are
+            # orders of magnitude larger than the ChannelResults, so
+            # shipping them back across a process boundary would cost
+            # more than the simulation itself; protocol auditing
+            # therefore deliberately bypasses the pool.
             command_logs.clear()
             command_logs.extend([] for _ in range(self.config.channels))
             results = [
@@ -104,9 +164,21 @@ class MultiChannelMemorySystem:
                 )
             ]
         else:
-            results = [
-                channel.run(runs) for channel, runs in zip(self.channels, per_channel)
-            ]
+            requested = self.config.parallelism if workers is None else workers
+            effective = resolve_workers(requested, self.config.channels)
+            if effective > 1 and queued_chunks >= PARALLEL_MIN_CHUNKS:
+                jobs = [
+                    (self.config, i, runs)
+                    for i, runs in enumerate(per_channel)
+                ]
+                results = parallel_map(
+                    _run_channel_job, jobs, workers=effective
+                )
+            else:
+                results = [
+                    channel.run(runs)
+                    for channel, runs in zip(self.channels, per_channel)
+                ]
         return SimulationResult(
             channels=results, freq_mhz=self.config.freq_mhz, scale=scale
         )

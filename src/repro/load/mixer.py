@@ -40,7 +40,8 @@ def interleave_backlogged(
         raise ConfigurationError("need at least one stream")
     for stream in streams:
         for txn in stream:
-            if txn.arrival_ns != 0.0:
+            # None and 0.0 both mean backlogged (no arrival constraint).
+            if txn.arrival_ns:
                 raise ConfigurationError(
                     "interleave_backlogged is for arrival-free streams; "
                     "use merge_by_arrival for timed streams"
@@ -71,14 +72,16 @@ def merge_by_arrival(
     heap = []
     for i, stream in enumerate(streams):
         if stream:
-            heap.append((stream[0].arrival_ns, i, 0))
+            heap.append((stream[0].arrival_ns or 0.0, i, 0))
     heapq.heapify(heap)
     merged: List[MasterTransaction] = []
     while heap:
         arrival, i, k = heapq.heappop(heap)
         merged.append(streams[i][k])
         if k + 1 < len(streams[i]):
-            heapq.heappush(heap, (streams[i][k + 1].arrival_ns, i, k + 1))
+            heapq.heappush(
+                heap, (streams[i][k + 1].arrival_ns or 0.0, i, k + 1)
+            )
     return merged
 
 

@@ -1,0 +1,161 @@
+"""Parallel execution: process pools with a deterministic fallback.
+
+The paper's channels are *independent* by construction (Fig. 2: each
+channel owns its controller, DRAM interconnect and bank cluster), and
+the sweep experiments (Figs. 3-5) evaluate dozens of (configuration,
+level) points that never interact.  Both are embarrassingly parallel,
+yet a pure-Python simulator can only exploit that with processes --
+the GIL serialises threads on the engine's integer-arithmetic hot
+loop.  This module packages process-level parallelism behind one
+order-preserving primitive, :func:`parallel_map`, used by
+
+- :meth:`repro.core.system.MultiChannelMemorySystem.run` to simulate
+  per-channel access streams concurrently, and
+- :func:`repro.analysis.sweep.sweep_use_case` (and the Fig. 3/4/5
+  runners built on it) to fan whole sweep points out across workers.
+
+Design rules
+------------
+
+**Determinism.**  Results are bit-identical to the sequential path:
+the mapped function must be pure, results are returned in input order
+regardless of completion order, and each worker performs exactly the
+computation the sequential path would (no shared mutable state, no
+work stealing that could reorder floating-point reductions).
+
+**Graceful degradation.**  Platforms where process pools cannot start
+(no fork and no picklable entry point, restricted sandboxes without
+semaphores, missing ``_multiprocessing``) silently fall back to an
+in-process map with identical results.  A broken pool mid-run is also
+retried in-process -- safe because the mapped functions are pure.
+
+**Worker semantics.**  ``workers=None`` or ``1`` means in-process
+sequential execution; ``workers=0`` (:data:`AUTO_WORKERS`) means one
+worker per available CPU; ``workers=N`` caps the pool at N processes.
+The effective pool never exceeds the number of jobs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: ``workers`` value meaning "one worker per available CPU".
+AUTO_WORKERS = 0
+
+#: Upper bound on an explicit worker request; catches nonsense values
+#: (a request is still capped by the job count afterwards).
+MAX_WORKERS = 256
+
+#: Errors that mean "the pool could not do the work", as opposed to
+#: "the mapped function raised": pool start-up failures, workers dying
+#: and arguments/functions that cannot cross the process boundary.
+#: Anything the mapped function itself raises propagates unchanged.
+_POOL_ERRORS = (
+    OSError,
+    ImportError,
+    NotImplementedError,
+    BrokenProcessPool,
+    pickle.PicklingError,
+)
+
+_pool_probe: Optional[bool] = None
+
+
+def available_cpus() -> int:
+    """Number of CPUs usable for worker processes (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int], jobs: int) -> int:
+    """Effective worker count for ``jobs`` independent jobs.
+
+    ``None`` and ``1`` resolve to 1 (in-process); :data:`AUTO_WORKERS`
+    resolves to :func:`available_cpus`; any other positive value is
+    taken as an upper bound.  The result never exceeds ``jobs``.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigurationError(f"workers must be an int, got {workers!r}")
+    if workers < 0:
+        raise ConfigurationError(
+            f"workers must be >= 0 (0 = one per CPU), got {workers}"
+        )
+    if workers > MAX_WORKERS:
+        raise ConfigurationError(
+            f"workers must be <= {MAX_WORKERS}, got {workers}"
+        )
+    if workers == AUTO_WORKERS:
+        workers = available_cpus()
+    return max(1, min(workers, jobs))
+
+
+def _probe_identity(x: int) -> int:
+    """Module-level identity for the pool probe (must be picklable)."""
+    return x
+
+
+def pool_supported() -> bool:
+    """Whether this platform can actually start a worker pool.
+
+    Probes once per process by round-tripping a trivial job through a
+    single-worker pool; the result is cached.  Used by benchmarks and
+    the determinism suite to distinguish "parallel path exercised"
+    from "parallel path fell back in-process".
+    """
+    global _pool_probe
+    if _pool_probe is None:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                _pool_probe = list(pool.map(_probe_identity, [7])) == [7]
+        except Exception:  # pragma: no cover - platform dependent
+            _pool_probe = False
+    return _pool_probe
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+) -> List[R]:
+    """Order-preserving map over independent jobs.
+
+    With an effective worker count of 1 (the default) this is a plain
+    in-process list comprehension.  With more, jobs are distributed
+    over a process pool and the results are collected *in input
+    order*, so callers observe exactly the sequential output.
+
+    ``fn`` must be a pure module-level callable and ``items`` must be
+    picklable; when either condition fails, or the platform cannot
+    start worker processes at all, the map falls back in-process and
+    still returns the identical result.  Exceptions raised by ``fn``
+    propagate to the caller either way.
+    """
+    jobs = list(items)
+    effective = resolve_workers(workers, len(jobs))
+    if effective <= 1:
+        return [fn(job) for job in jobs]
+    try:
+        # Probe before starting a pool: an unpicklable fn (lambda,
+        # closure, bound method) surfaces as an AttributeError or
+        # TypeError from deep inside the pool's feeder thread, so it
+        # is far cleaner to detect it up front.
+        pickle.dumps(fn)
+    except Exception:
+        return [fn(job) for job in jobs]
+    try:
+        with ProcessPoolExecutor(max_workers=effective) as pool:
+            return list(pool.map(fn, jobs))
+    except _POOL_ERRORS:
+        # The pool infrastructure failed, not the jobs: rerun
+        # in-process.  Safe because the mapped functions are pure.
+        return [fn(job) for job in jobs]

@@ -194,6 +194,29 @@ class TestPowerDown:
         r = make_engine().run([(0, 0, 1, 0), (0, 8, 1, 1000)])
         assert r.states.total_ns() == pytest.approx(r.finish_ns)
 
+    def test_open_page_books_active_states(self):
+        # Open page keeps rows open across the idle gap: CKE drops
+        # with banks active, so residency is IDD3-class.
+        r = make_engine().run([(0, 0, 1, 0), (0, 8, 1, 1000)])
+        assert r.states.active_powerdown_ns > 0
+        assert r.states.precharge_powerdown_ns == 0.0
+        assert r.states.precharge_standby_ns == 0.0
+
+    def test_closed_page_books_precharged_states(self):
+        # Closed page precharges after every access, so the same idle
+        # gap is spent with all banks closed: both the standby and the
+        # power-down residency must be booked to the precharged
+        # (IDD2-class) states, not the active ones.
+        r = make_engine(page_policy=PagePolicy.CLOSED).run(
+            [(0, 0, 1, 0), (0, 8, 1, 1000)]
+        )
+        assert r.counters.power_down_entries == 1
+        assert r.states.precharge_powerdown_ns > 0
+        assert r.states.precharge_standby_ns > 0
+        assert r.states.active_powerdown_ns == 0.0
+        assert r.states.active_standby_ns == 0.0
+        assert r.states.total_ns() == pytest.approx(r.finish_ns)
+
 
 class TestBrcVsRbc:
     def test_brc_sequential_slower_than_rbc(self):
@@ -228,6 +251,35 @@ class TestInterconnectOverhead:
         assert ratio == pytest.approx(1.25, abs=0.02)
 
 
+class TestOverheadAccumulatorScale:
+    """The hot loop's stall insertion must stay in sync with
+    OVERHEAD_SCALE: the shift is derived, never hardcoded."""
+
+    def test_shift_derived_from_scale(self):
+        from repro.controller.interconnect import OVERHEAD_SCALE, OVERHEAD_SHIFT
+
+        assert 1 << OVERHEAD_SHIFT == OVERHEAD_SCALE
+
+    @pytest.mark.parametrize("ovh", [0.2, 0.45, 0.95])
+    def test_long_run_average_stall_matches_configuration(self, ovh):
+        # The regression oracle for the fixed-point accumulator: over a
+        # long run the *average* extra stall per access converges to
+        # the configured address_cycles_per_access.  A mismatched
+        # shift/scale pair would insert 2^k times too many (or too
+        # few) stall cycles and miss this by a wide margin.
+        n = 20_000
+        ideal = make_engine().run([(0, 0, n)])
+        real = ChannelEngine(
+            NEXT_GEN_MOBILE_DDR,
+            400.0,
+            interconnect=InterconnectModel(address_cycles_per_access=ovh),
+        ).run([(0, 0, n)])
+        per_access = (real.finish_cycle - ideal.finish_cycle) / n
+        # Tolerance covers the handful of extra refresh periods the
+        # slower run crosses (tens of cycles over 20k accesses).
+        assert per_access == pytest.approx(ovh, abs=0.03)
+
+
 class TestInputHandling:
     def test_accepts_channel_run_objects(self):
         r = make_engine().run([ChannelRun(Op.READ, 0, 4)])
@@ -244,6 +296,25 @@ class TestInputHandling:
     def test_rejects_nonpositive_count(self):
         with pytest.raises(ConfigurationError):
             make_engine().run([(0, 0, 0)])
+
+    def test_rejects_bad_op_in_channel_run(self):
+        # ChannelRun does not validate op at construction; the engine
+        # must apply the same checks to both input forms instead of
+        # trusting the object wrapper.
+        with pytest.raises(ConfigurationError):
+            make_engine().run([ChannelRun(3, 0, 4)])
+
+    def test_rejects_corrupted_channel_run_count(self):
+        run = ChannelRun(Op.READ, 0, 4)
+        object.__setattr__(run, "count", 0)
+        with pytest.raises(ConfigurationError):
+            make_engine().run([run])
+
+    def test_rejects_corrupted_channel_run_start(self):
+        run = ChannelRun(Op.READ, 0, 4)
+        object.__setattr__(run, "start_chunk", -1)
+        with pytest.raises(ConfigurationError):
+            make_engine().run([run])
 
     def test_rejects_over_capacity_run(self):
         max_chunk = NEXT_GEN_MOBILE_DDR.geometry.capacity_bytes >> 4

@@ -98,6 +98,45 @@ class TestCapacityWrap:
         assert result.sample_bytes == 64
 
 
+class TestArrivalConversion:
+    """Arrival timestamps convert to cycles by *ceiling*: a request
+    arriving strictly inside cycle k cannot issue at cycle k (the old
+    truncation started it one cycle early), and an arrival of exactly
+    0.0 ns is a timestamp, not a missing one."""
+
+    def _finish(self, arrival_ns):
+        system = make_system(channels=1)
+        txn = MasterTransaction(Op.READ, 0, 16, arrival_ns=arrival_ns)
+        return system.run([txn]).channels[0].finish_cycle
+
+    def test_exact_edge_issues_on_the_edge(self):
+        # 25.0 ns at 400 MHz (tck = 2.5 ns) is exactly cycle 10: one
+        # cycle later than a 22.5 ns (cycle 9) arrival.
+        assert self._finish(25.0) == self._finish(22.5) + 1
+
+    def test_sub_cycle_arrival_rounds_up(self):
+        # 24.9 ns lies strictly inside cycle 9: the access must wait
+        # for cycle 10, same as an exact 25.0 ns arrival.  Truncation
+        # issued it at cycle 9.
+        assert self._finish(24.9) == self._finish(25.0)
+
+    def test_past_edge_costs_one_more_cycle(self):
+        assert self._finish(25.1) == self._finish(25.0) + 1
+
+    def test_float_noise_on_edge_absorbed(self):
+        # Sub-epsilon overshoot from ns float arithmetic must not push
+        # the arrival into the next cycle.
+        assert self._finish(25.0 + 1e-9) == self._finish(25.0)
+
+    def test_zero_arrival_equals_missing_arrival(self):
+        system = make_system(channels=1)
+        zero = system.run([MasterTransaction(Op.READ, 0, 16, arrival_ns=0.0)])
+        missing = system.run(
+            [MasterTransaction(Op.READ, 0, 16, arrival_ns=None)]
+        )
+        assert zero.channels == missing.channels
+
+
 class TestDescribe:
     def test_describe_delegates_to_config(self):
         system = make_system(channels=2)

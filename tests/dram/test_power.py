@@ -128,6 +128,68 @@ class TestIntegration:
         assert e.total_j >= 0.0
 
 
+class TestPagePolicyBackgroundBooking:
+    """Idle residency must be charged at the rate of the state the
+    page policy actually leaves the banks in: IDD3-class for open
+    page (rows held open across gaps), IDD2-class for closed page
+    (every bank precharged)."""
+
+    def _idle_gap_result(self, policy):
+        from repro.controller.engine import ChannelEngine
+        from repro.controller.interconnect import InterconnectModel
+
+        engine = ChannelEngine(
+            NEXT_GEN_MOBILE_DDR,
+            400.0,
+            page_policy=policy,
+            interconnect=InterconnectModel(address_cycles_per_access=0.0),
+        )
+        return engine.run([(0, 0, 1, 0), (0, 8, 1, 4000)])
+
+    def test_closed_page_background_uses_precharged_rates(self, model):
+        from repro.controller.pagepolicy import PagePolicy
+
+        r = self._idle_gap_result(PagePolicy.CLOSED)
+        assert r.states.precharge_powerdown_ns > 0
+        assert r.states.active_powerdown_ns == 0.0
+        e = model.energy(CommandCounters(), r.states)
+        expected = (
+            r.states.precharge_standby_ns * model.precharge_standby_power_w
+            + r.states.precharge_powerdown_ns * model.precharge_powerdown_power_w
+        ) * 1e-9
+        assert e.background_j == pytest.approx(expected)
+
+    def test_open_page_background_uses_active_rates(self, model):
+        from repro.controller.pagepolicy import PagePolicy
+
+        r = self._idle_gap_result(PagePolicy.OPEN)
+        assert r.states.active_powerdown_ns > 0
+        assert r.states.precharge_powerdown_ns == 0.0
+        e = model.energy(CommandCounters(), r.states)
+        expected = (
+            r.states.active_standby_ns * model.active_standby_power_w
+            + r.states.active_powerdown_ns * model.active_powerdown_power_w
+        ) * 1e-9
+        assert e.background_j == pytest.approx(expected)
+
+    def test_closed_page_idle_background_rate_is_cheaper(self, model):
+        # IDD2N < IDD3N and IDD2P < IDD3P: the same idle-heavy run must
+        # average a lower background power with banks precharged.
+        from repro.controller.pagepolicy import PagePolicy
+
+        open_r = self._idle_gap_result(PagePolicy.OPEN)
+        closed_r = self._idle_gap_result(PagePolicy.CLOSED)
+        open_rate = (
+            model.energy(CommandCounters(), open_r.states).background_j
+            / open_r.states.total_ns()
+        )
+        closed_rate = (
+            model.energy(CommandCounters(), closed_r.states).background_j
+            / closed_r.states.total_ns()
+        )
+        assert closed_rate < open_rate
+
+
 class TestStreamingPower:
     def test_streaming_power_matches_calibration_anchor(self, model):
         # The Fig. 5 calibration: a fully streaming 400 MHz channel

@@ -1,0 +1,234 @@
+"""Determinism suite for the parallel execution layer.
+
+The contract under test (docs/architecture.md, "parallel execution
+layer"): running channels or sweep points across worker processes is
+an implementation detail -- every observable result is bit-identical
+to the sequential path, in the same order, for any worker count.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.errors import ConfigurationError
+from repro.load.generators import sequential_stream
+from repro.parallel import (
+    AUTO_WORKERS,
+    MAX_WORKERS,
+    available_cpus,
+    parallel_map,
+    pool_supported,
+    resolve_workers,
+)
+
+needs_pool = pytest.mark.skipif(
+    not pool_supported(), reason="process pool unavailable on this platform"
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"worker failure on {x}")
+
+
+# ---------------------------------------------------------------------------
+# Worker-count semantics
+
+
+class TestResolveWorkers:
+    def test_none_means_in_process(self):
+        assert resolve_workers(None, 8) == 1
+
+    def test_one_means_in_process(self):
+        assert resolve_workers(1, 8) == 1
+
+    def test_auto_uses_cpu_count(self):
+        assert resolve_workers(AUTO_WORKERS, 10**6) == available_cpus()
+
+    def test_capped_by_job_count(self):
+        assert resolve_workers(16, 4) == 4
+
+    def test_zero_jobs_still_one_worker(self):
+        assert resolve_workers(4, 0) == 1
+
+    @pytest.mark.parametrize("bad", [-1, MAX_WORKERS + 1, 2.0, "4", True])
+    def test_invalid_counts_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad, 8)
+
+    def test_config_knob_validated(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(parallelism=-1)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(parallelism=257)
+
+
+# ---------------------------------------------------------------------------
+# parallel_map
+
+
+class TestParallelMap:
+    def test_in_process_preserves_order(self):
+        assert parallel_map(_square, range(10), workers=1) == [
+            n * n for n in range(10)
+        ]
+
+    @needs_pool
+    def test_pooled_preserves_order(self):
+        assert parallel_map(_square, range(50), workers=4) == [
+            n * n for n in range(50)
+        ]
+
+    @needs_pool
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="worker failure"):
+            parallel_map(_boom, [1, 2, 3], workers=2)
+
+    @needs_pool
+    def test_unpicklable_function_falls_back_in_process(self):
+        # A lambda cannot cross the process boundary; the layer must
+        # catch the PicklingError and deliver the identical result
+        # in-process instead of failing.
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=2) == [2, 3, 4]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+# ---------------------------------------------------------------------------
+# Channel-level determinism
+
+
+def _fingerprint(result):
+    """Every observable field of a SimulationResult, channel by channel."""
+    return [
+        (
+            ch.finish_cycle,
+            ch.data_cycles,
+            ch.chunks_read,
+            ch.chunks_written,
+            ch.counters,
+            ch.states,
+            ch.bank_accesses,
+        )
+        for ch in result.channels
+    ]
+
+
+def _write_read_mix(total_bytes, block_bytes=4096):
+    """Alternating timed writes and backlogged reads."""
+    from repro.controller.request import MasterTransaction, Op
+
+    txns = []
+    for i, addr in enumerate(range(0, total_bytes, block_bytes)):
+        if i % 2:
+            txns.append(MasterTransaction(Op.READ, addr, block_bytes))
+        else:
+            txns.append(
+                MasterTransaction(
+                    Op.WRITE, addr, block_bytes, arrival_ns=i * 100.0
+                )
+            )
+    return txns
+
+
+class TestChannelDeterminism:
+    @needs_pool
+    @pytest.mark.parametrize("channels", [1, 2, 4, 8])
+    def test_parallel_matches_sequential(self, channels):
+        txns = sequential_stream(2 * 2**20, block_bytes=4096)
+        system = MultiChannelMemorySystem(SystemConfig(channels=channels))
+        sequential = system.run(txns)
+        parallel = system.run(txns, workers=4)
+        assert _fingerprint(parallel) == _fingerprint(sequential)
+        assert parallel.channels == sequential.channels
+        assert parallel.access_time_ms == sequential.access_time_ms
+
+    @needs_pool
+    def test_config_parallelism_knob_matches_sequential(self):
+        txns = sequential_stream(2 * 2**20, block_bytes=4096)
+        base = SystemConfig(channels=4)
+        sequential = MultiChannelMemorySystem(base).run(txns)
+        knobbed = MultiChannelMemorySystem(base.with_parallelism(4)).run(txns)
+        assert _fingerprint(knobbed) == _fingerprint(sequential)
+
+    @needs_pool
+    def test_mixed_timed_workload_matches_sequential(self):
+        txns = _write_read_mix(2 * 2**20)
+        system = MultiChannelMemorySystem(SystemConfig(channels=4))
+        sequential = system.run(txns)
+        parallel = system.run(txns, workers=4)
+        assert _fingerprint(parallel) == _fingerprint(sequential)
+
+    def test_small_run_stays_in_process(self):
+        # Below PARALLEL_MIN_CHUNKS the pool must not engage; the call
+        # still succeeds and matches a plain run.
+        txns = sequential_stream(64 * 1024, block_bytes=4096)
+        system = MultiChannelMemorySystem(SystemConfig(channels=4))
+        assert _fingerprint(system.run(txns, workers=4)) == _fingerprint(
+            system.run(txns)
+        )
+
+    def test_results_are_picklable(self):
+        # The pool round trip relies on lossless pickling of results.
+        txns = sequential_stream(64 * 1024, block_bytes=4096)
+        result = MultiChannelMemorySystem(SystemConfig(channels=2)).run(txns)
+        clone = pickle.loads(pickle.dumps(result))
+        assert _fingerprint(clone) == _fingerprint(result)
+
+
+# ---------------------------------------------------------------------------
+# Sweep-level determinism
+
+
+class TestSweepDeterminism:
+    @needs_pool
+    def test_sweep_parallel_matches_sequential(self):
+        from repro.analysis.sweep import sweep_use_case
+        from repro.usecase.levels import level_by_name
+
+        levels = [level_by_name("3.1")]
+        configs = [SystemConfig(channels=m) for m in (1, 2, 4)]
+        sequential = sweep_use_case(levels, configs, chunk_budget=20_000)
+        parallel = sweep_use_case(
+            levels, configs, chunk_budget=20_000, workers=2
+        )
+        assert [p.config for p in parallel] == [p.config for p in sequential]
+        for par, seq in zip(parallel, sequential):
+            assert _fingerprint(par.result) == _fingerprint(seq.result)
+            assert par.power == seq.power
+            assert par.verdict is seq.verdict
+
+    @needs_pool
+    def test_sweep_order_independence(self):
+        from repro.analysis.sweep import sweep_use_case
+        from repro.usecase.levels import level_by_name
+
+        levels = [level_by_name("3.1")]
+        configs = [SystemConfig(channels=m) for m in (1, 2, 4)]
+        forward = sweep_use_case(
+            levels, configs, chunk_budget=20_000, workers=2
+        )
+        backward = sweep_use_case(
+            levels, list(reversed(configs)), chunk_budget=20_000, workers=2
+        )
+        by_channels = {p.config.channels: p for p in backward}
+        for point in forward:
+            twin = by_channels[point.config.channels]
+            assert _fingerprint(point.result) == _fingerprint(twin.result)
+            assert point.power == twin.power
+
+    @needs_pool
+    def test_explorer_answers_unchanged_by_workers(self):
+        from repro.analysis.explorer import minimum_channels
+        from repro.usecase.levels import level_by_name
+
+        level = level_by_name("3.2")
+        assert minimum_channels(
+            level, chunk_budget=20_000, workers=2
+        ) == minimum_channels(level, chunk_budget=20_000)
