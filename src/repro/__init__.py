@@ -79,6 +79,12 @@ from repro.power import (
     compute_frame_power,
     interface_power_w,
 )
+from repro.resilience import (
+    JobFailure,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepReport,
+)
 from repro.usecase import (
     FORMAT_1080P,
     FORMAT_2160P,
@@ -144,6 +150,11 @@ __all__ = [
     "XDR_CELL_BE",
     "compute_frame_power",
     "interface_power_w",
+    # resilience
+    "JobFailure",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "SweepReport",
     # usecase
     "FORMAT_1080P",
     "FORMAT_2160P",

@@ -21,7 +21,8 @@ producing the ASCII rendition the CLI and the benchmarks print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.realtime import RealTimeVerdict
 from repro.analysis.sweep import (
@@ -40,8 +41,20 @@ from repro.core.config import (
 from repro.core.interleave import ChannelInterleaver
 from repro.errors import ConfigurationError
 from repro.power.xdr import XDR_CELL_BE, XdrReference
+from repro.resilience.report import JobFailure
 from repro.usecase.bandwidth import BandwidthTable, compute_table1
 from repro.usecase.levels import PAPER_LEVELS, H264Level, level_by_name
+
+#: Cell shown for a sweep point that failed under ``strict=False``.
+FAILED_CELL = "ERR"
+
+
+def _failure_legend(failures: Sequence[JobFailure]) -> str:
+    """Annotation block appended to a figure rendition when some sweep
+    points failed under graceful degradation."""
+    lines = [f"{len(failures)} point(s) failed (ERR cells):"]
+    lines += [f"  {failure.describe()}" for failure in failures]
+    return "\n".join(lines)
 
 # ---------------------------------------------------------------------------
 # Table I
@@ -97,6 +110,9 @@ class Fig3Result:
     #: access_ms[freq][channels]
     access_ms: Dict[float, Dict[int, float]]
     verdicts: Dict[float, Dict[int, RealTimeVerdict]]
+    #: Sweep points that failed (graceful degradation, ``strict=False``);
+    #: their cells render as :data:`FAILED_CELL`.
+    failures: Tuple[JobFailure, ...] = ()
 
     @property
     def realtime_requirement_ms(self) -> float:
@@ -111,6 +127,9 @@ class Fig3Result:
         for f in self.frequencies_mhz:
             row = [f"{f:g}"]
             for m in self.channel_counts:
+                if m not in self.access_ms.get(f, {}):
+                    row.append(FAILED_CELL)
+                    continue
                 cell = f"{self.access_ms[f][m]:.1f}"
                 verdict = self.verdicts[f][m]
                 if verdict is RealTimeVerdict.FAIL:
@@ -123,7 +142,10 @@ class Fig3Result:
             f"real-time requirement for {self.level.fps} fps: "
             f"{self.realtime_requirement_ms:.1f} ms   (! = fail, ~ = marginal)"
         )
-        return format_table(rows) + "\n" + legend
+        out = format_table(rows) + "\n" + legend
+        if self.failures:
+            out += "\n" + _failure_legend(self.failures)
+        return out
 
 
 def run_fig3(
@@ -133,12 +155,17 @@ def run_fig3(
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
     workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    strict: bool = True,
 ) -> Fig3Result:
     """Regenerate Fig. 3: sweep the interface clock for the least
     demanding HD level (3.1: 720p at 30 fps) over 1-8 channels.
 
     ``workers`` distributes the (frequency, channel-count) points over
-    worker processes (0 = one per CPU); results are identical."""
+    worker processes (0 = one per CPU); results are identical.
+    ``checkpoint`` resumes an interrupted sweep from a JSON-lines
+    file; ``strict=False`` renders failed points as ERR cells instead
+    of raising."""
     level = level_by_name("3.1")
     base = base_config if base_config is not None else SystemConfig()
     kwargs = {} if chunk_budget is None else {"chunk_budget": chunk_budget}
@@ -147,12 +174,18 @@ def run_fig3(
         for f in frequencies_mhz
         for config in channel_sweep_configs(base.with_frequency(f), channel_counts)
     ]
-    points = sweep_use_case(
-        [level], configs, scale=scale, workers=workers, **kwargs
+    report = sweep_use_case(
+        [level],
+        configs,
+        scale=scale,
+        workers=workers,
+        checkpoint=checkpoint,
+        strict=strict,
+        **kwargs,
     )
     access: Dict[float, Dict[int, float]] = {}
     verdicts: Dict[float, Dict[int, RealTimeVerdict]] = {}
-    for point in points:
+    for point in report:
         f = point.config.freq_mhz
         access.setdefault(f, {})[point.config.channels] = point.access_time_ms
         verdicts.setdefault(f, {})[point.config.channels] = point.verdict
@@ -162,6 +195,7 @@ def run_fig3(
         channel_counts=tuple(channel_counts),
         access_ms=access,
         verdicts=verdicts,
+        failures=tuple(report.failures),
     )
 
 
@@ -179,6 +213,9 @@ class Fig4Result:
     freq_mhz: float
     #: points[level_name][channels]
     points: Dict[str, Dict[int, SweepPoint]]
+    #: Sweep points that failed (graceful degradation, ``strict=False``);
+    #: their cells render as :data:`FAILED_CELL`.
+    failures: Tuple[JobFailure, ...] = ()
 
     def access_ms(self, level_name: str, channels: int) -> float:
         """Access time of one bar."""
@@ -195,7 +232,10 @@ class Fig4Result:
         for level in self.levels:
             row = [level.column_title]
             for m in self.channel_counts:
-                point = self.points[level.name][m]
+                point = self.points.get(level.name, {}).get(m)
+                if point is None:
+                    row.append(FAILED_CELL)
+                    continue
                 cell = f"{point.access_time_ms:.1f}"
                 if point.verdict is RealTimeVerdict.FAIL:
                     cell += " !"
@@ -207,7 +247,10 @@ class Fig4Result:
             f"clock {self.freq_mhz:g} MHz; requirement 33.3 ms @30 fps / "
             "16.7 ms @60 fps   (! = fail, ~ = marginal)"
         )
-        return format_table(rows) + "\n" + legend
+        out = format_table(rows) + "\n" + legend
+        if self.failures:
+            out += "\n" + _failure_legend(self.failures)
+        return out
 
 
 def run_fig4(
@@ -218,30 +261,38 @@ def run_fig4(
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
     workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    strict: bool = True,
 ) -> Fig4Result:
     """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock.
 
     ``workers`` distributes the (level, channel-count) points over
-    worker processes (0 = one per CPU); results are identical."""
+    worker processes (0 = one per CPU); results are identical.
+    ``checkpoint`` resumes an interrupted sweep from a JSON-lines
+    file; ``strict=False`` renders failed points as ERR cells instead
+    of raising."""
     base = (base_config if base_config is not None else SystemConfig()).with_frequency(
         freq_mhz
     )
     kwargs = {} if chunk_budget is None else {"chunk_budget": chunk_budget}
-    swept = sweep_use_case(
+    report = sweep_use_case(
         levels,
         channel_sweep_configs(base, channel_counts),
         scale=scale,
         workers=workers,
+        checkpoint=checkpoint,
+        strict=strict,
         **kwargs,
     )
     points: Dict[str, Dict[int, SweepPoint]] = {}
-    for point in swept:
+    for point in report:
         points.setdefault(point.level.name, {})[point.config.channels] = point
     return Fig4Result(
         levels=tuple(levels),
         channel_counts=tuple(channel_counts),
         freq_mhz=freq_mhz,
         points=points,
+        failures=tuple(report.failures),
     )
 
 
@@ -270,6 +321,11 @@ class Fig5Result:
         """Bar groups."""
         return self.fig4.channel_counts
 
+    @property
+    def failures(self) -> Tuple[JobFailure, ...]:
+        """Failed sweep points (graceful degradation)."""
+        return self.fig4.failures
+
     def point(self, level_name: str, channels: int) -> SweepPoint:
         """One bar's underlying sweep point."""
         return self.fig4.points[level_name][channels]
@@ -283,7 +339,10 @@ class Fig5Result:
         for level in self.levels:
             row = [level.column_title]
             for m in self.channel_counts:
-                point = self.point(level.name, m)
+                point = self.fig4.points.get(level.name, {}).get(m)
+                if point is None:
+                    row.append(FAILED_CELL)
+                    continue
                 if point.verdict is RealTimeVerdict.FAIL:
                     row.append("0 !")
                 else:
@@ -300,7 +359,10 @@ class Fig5Result:
             "(paper: zero bars); (if x.x) = equation-(1) interface share; "
             "~ = MARGINAL"
         )
-        return format_table(rows) + "\n" + legend
+        out = format_table(rows) + "\n" + legend
+        if self.failures:
+            out += "\n" + _failure_legend(self.failures)
+        return out
 
 
 def run_fig5(
@@ -311,9 +373,12 @@ def run_fig5(
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
     workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    strict: bool = True,
 ) -> Fig5Result:
     """Regenerate Fig. 5.  Shares Fig. 4's sweep (the paper derives
-    both from the same simulations)."""
+    both from the same simulations) -- including its checkpoint file,
+    so a resumed Fig. 5 reuses a Fig. 4 run's completed points."""
     return Fig5Result(
         fig4=run_fig4(
             levels=levels,
@@ -323,6 +388,8 @@ def run_fig5(
             scale=scale,
             chunk_budget=chunk_budget,
             workers=workers,
+            checkpoint=checkpoint,
+            strict=strict,
         )
     )
 
@@ -355,6 +422,8 @@ class XdrComparisonResult:
         rows: List[List[str]] = [["Format", "Power [mW]", "% of XDR 5 W"]]
         for name, (power_mw, ratio) in self.per_level.items():
             rows.append([name, f"{power_mw:.0f}", f"{ratio * 100:.0f} %"])
+        if not self.per_level:
+            return format_table(rows) + "\nno feasible level to compare"
         lo, hi = self.power_ratio_range
         legend = (
             f"8-channel peak bandwidth "
@@ -371,25 +440,34 @@ def run_xdr_comparison(
     channels: int = 8,
     freq_mhz: float = 400.0,
     reference: XdrReference = XDR_CELL_BE,
+    base_config: Optional[SystemConfig] = None,
     scale: Optional[float] = None,
     chunk_budget: Optional[int] = None,
     workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    strict: bool = True,
 ) -> XdrComparisonResult:
     """Compare the 8-channel configuration's power against the XDR
-    reference across the encoding formats (Section IV)."""
+    reference across the encoding formats (Section IV).
+
+    Failed sweep points (graceful degradation) are omitted from the
+    comparison, exactly as infeasible levels are."""
     if fig5 is None:
         fig5 = run_fig5(
             channel_counts=(channels,),
             freq_mhz=freq_mhz,
+            base_config=base_config,
             scale=scale,
             chunk_budget=chunk_budget,
             workers=workers,
+            checkpoint=checkpoint,
+            strict=strict,
         )
     config = SystemConfig(channels=channels, freq_mhz=freq_mhz)
     per_level: Dict[str, Tuple[float, float]] = {}
     for level in fig5.levels:
-        point = fig5.point(level.name, channels)
-        if point.verdict is RealTimeVerdict.FAIL:
+        point = fig5.fig4.points.get(level.name, {}).get(channels)
+        if point is None or point.verdict is RealTimeVerdict.FAIL:
             continue
         power_w = point.power.total_power_w
         per_level[level.column_title] = (

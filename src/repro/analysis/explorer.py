@@ -46,6 +46,7 @@ def minimum_channels(
     require_margin: bool = False,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     workers: Optional[int] = None,
+    strict: bool = True,
 ) -> Optional[int]:
     """Smallest channel count meeting the level's real-time target.
 
@@ -57,14 +58,19 @@ def minimum_channels(
     concurrently and then scans for the smallest feasible one; the
     sequential default stops at the first success.  Both return the
     same answer -- every point is an independent simulation.
+
+    ``strict=False`` degrades gracefully: a channel count whose
+    simulation failed is skipped (treated as not demonstrably
+    feasible) instead of aborting the exploration.
     """
     counts = sorted(channel_counts)
-    if resolve_workers(workers, len(counts)) > 1:
+    if not strict or resolve_workers(workers, len(counts)) > 1:
         points = sweep_use_case(
             [level],
             [SystemConfig(channels=m, freq_mhz=freq_mhz) for m in counts],
             chunk_budget=chunk_budget,
             workers=workers,
+            strict=strict,
         )
     else:
         points = (
@@ -90,13 +96,16 @@ def find_minimum_power_configuration(
     frequencies_mhz: Sequence[float] = PAPER_FREQUENCIES_MHZ,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     workers: Optional[int] = None,
+    strict: bool = True,
 ) -> Optional[SweepPoint]:
     """Cheapest (by average power) PASS configuration for ``level``.
 
     Returns ``None`` when nothing in the evaluated grid passes with
     the processing margin intact.  The (channels, clock) grid is
     exhaustive either way, so ``workers`` > 1 fans it out across
-    processes without changing the answer.
+    processes without changing the answer.  ``strict=False`` skips
+    failed grid points instead of aborting, answering over the
+    surviving portion of the grid.
     """
     configs = [
         SystemConfig(channels=channels, freq_mhz=freq)
@@ -104,7 +113,8 @@ def find_minimum_power_configuration(
         for channels in channel_counts
     ]
     points = sweep_use_case(
-        [level], configs, chunk_budget=chunk_budget, workers=workers
+        [level], configs, chunk_budget=chunk_budget, workers=workers,
+        strict=strict,
     )
     best: Optional[SweepPoint] = None
     for point in points:

@@ -10,22 +10,40 @@ level) pair is an independent simulation -- so :func:`sweep_use_case`
 accepts a ``workers`` count and fans whole points out across worker
 processes via :mod:`repro.parallel`.  Results are returned in the same
 order and with the same bit-identical values as a sequential sweep.
+
+Fault tolerance (see :mod:`repro.resilience`):
+
+- ``checkpoint=`` names a JSON-lines file; completed points are
+  appended as they finish and skipped on re-run, so an interrupted
+  sweep resumes with only the missing work -- bit-identically, because
+  the checkpoint stores the full pickled points.
+- ``strict=True`` (the default) keeps fail-fast semantics, but wraps
+  worker exceptions in :class:`~repro.errors.WorkerError` carrying the
+  sweep coordinates and worker-side traceback.  ``strict=False``
+  degrades gracefully: every healthy point completes and the returned
+  :class:`~repro.resilience.report.SweepReport` carries the failures
+  alongside the results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.realtime import RealTimeVerdict, realtime_verdict
 from repro.core.config import SystemConfig
 from repro.core.results import SimulationResult
 from repro.core.system import MultiChannelMemorySystem
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerError
 from repro.load.model import DEFAULT_BLOCK_BYTES, VideoRecordingLoadModel
 from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
 from repro.parallel import parallel_map
 from repro.power.report import FramePowerReport, compute_frame_power
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.faults import maybe_inject
+from repro.resilience.report import JobFailure, SweepReport
+from repro.resilience.retry import RetryPolicy
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
 
@@ -84,16 +102,21 @@ def simulate_use_case(
     )
 
 
-def _sweep_point_job(
-    job: Tuple[H264Level, SystemConfig, Optional[float], int, int]
-) -> SweepPoint:
+#: One sweep job: (index, level, config, scale, chunk_budget, block_bytes).
+SweepJob = Tuple[int, H264Level, SystemConfig, Optional[float], int, int]
+
+
+def _sweep_point_job(job: SweepJob) -> SweepPoint:
     """Simulate one sweep point (pool worker entry point).
 
     Module-level so it pickles by reference; every argument and the
     returned :class:`SweepPoint` are plain dataclasses/enums, so the
-    round trip through the pool is lossless.
+    round trip through the pool is lossless.  The leading index exists
+    for checkpoint bookkeeping and as the fault-injection hook the
+    resilience tests target.
     """
-    level, config, scale, chunk_budget, block_bytes = job
+    index, level, config, scale, chunk_budget, block_bytes = job
+    maybe_inject("sweep", index)
     return simulate_use_case(
         level,
         config,
@@ -103,6 +126,18 @@ def _sweep_point_job(
     )
 
 
+def _job_coords(job: SweepJob) -> Dict[str, object]:
+    """Human-readable sweep coordinates of one job (for failure
+    records and checkpoint lines)."""
+    index, level, config, scale, chunk_budget, block_bytes = job
+    return {
+        "index": index,
+        "level": level.name,
+        "channels": config.channels,
+        "freq_mhz": config.freq_mhz,
+    }
+
+
 def sweep_use_case(
     levels: Sequence[H264Level],
     configs: Sequence[SystemConfig],
@@ -110,21 +145,98 @@ def sweep_use_case(
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     workers: Optional[int] = None,
-) -> List[SweepPoint]:
+    checkpoint: Optional[Union[str, Path]] = None,
+    strict: bool = True,
+    retry: Optional[RetryPolicy] = None,
+) -> SweepReport:
     """Cartesian sweep of levels x configurations.
 
     ``workers`` fans the (level, config) points out across worker
     processes (``None``/1 = in-process, 0 = one per CPU); the returned
-    list is in levels-major order and bit-identical either way.
+    report is in levels-major order and bit-identical either way.
+
+    ``checkpoint`` names a JSON-lines file: completed points are
+    recorded as they finish, and points already present are skipped --
+    an interrupted sweep re-run with the same arguments recomputes
+    only the missing work.  ``strict=False`` captures per-point
+    failures in the report instead of raising; ``retry`` overrides the
+    backoff schedule for transient pool failures.
+
+    The report is a drop-in :class:`~collections.abc.Sequence` of the
+    successful :class:`SweepPoint`\\ s, so callers that treat the
+    result as a list keep working.
     """
     if not levels or not configs:
         raise ConfigurationError("sweep needs at least one level and one config")
-    jobs = [
-        (level, config, scale, chunk_budget, block_bytes)
-        for level in levels
-        for config in configs
+    jobs: List[SweepJob] = [
+        (index, level, config, scale, chunk_budget, block_bytes)
+        for index, (level, config) in enumerate(
+            (level, config) for level in levels for config in configs
+        )
     ]
-    return parallel_map(_sweep_point_job, jobs, workers=workers)
+
+    store = SweepCheckpoint(checkpoint) if checkpoint is not None else None
+    results: List[Optional[SweepPoint]] = [None] * len(jobs)
+    resumed = 0
+    if store is not None:
+        keys = [store.key_for(job) for job in jobs]
+        done = store.load()
+        for position, key in enumerate(keys):
+            if key in done:
+                results[position] = done[key]
+                resumed += 1
+        pending_positions = [
+            position for position in range(len(jobs)) if results[position] is None
+        ]
+    else:
+        keys = []
+        pending_positions = list(range(len(jobs)))
+    pending_jobs = [jobs[position] for position in pending_positions]
+
+    on_result = None
+    if store is not None:
+
+        def on_result(local_index: int, point: SweepPoint) -> None:
+            position = pending_positions[local_index]
+            store.record(keys[position], _job_coords(jobs[position]), point)
+
+    outcomes = parallel_map(
+        _sweep_point_job,
+        pending_jobs,
+        workers=workers,
+        retry=retry,
+        capture_failures=True,
+        on_result=on_result,
+    )
+
+    failures: List[JobFailure] = []
+    for local_index, outcome in enumerate(outcomes):
+        position = pending_positions[local_index]
+        if isinstance(outcome, JobFailure):
+            failures.append(
+                replace(
+                    outcome,
+                    index=position,
+                    coords=_job_coords(jobs[position]),
+                )
+            )
+        else:
+            results[position] = outcome
+
+    if strict and failures:
+        first = failures[0]
+        raise WorkerError(
+            f"sweep point {dict(first.coords)} failed: "
+            f"{first.error_type}: {first.message}",
+            coords=first.coords,
+            traceback=first.traceback,
+        )
+    return SweepReport(
+        points=[point for point in results if point is not None],
+        failures=failures,
+        total=len(jobs),
+        resumed=resumed,
+    )
 
 
 def channel_sweep_configs(

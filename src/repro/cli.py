@@ -19,6 +19,17 @@ EXPERIMENTS.md for how the output maps onto the paper's artifacts.
 ``--workers N`` runs the sweeps behind fig3/fig4/fig5/xdr/explore on N
 worker processes (0 = one per CPU); the artifacts are bit-identical to
 the sequential default.
+
+Fault tolerance (see :mod:`repro.resilience`):
+
+- ``--checkpoint FILE`` records every completed sweep point to FILE as
+  it finishes; add ``--resume`` to skip the points already recorded
+  there, so an interrupted run recomputes only the missing work.
+  Without ``--resume`` an existing checkpoint is truncated first.
+- ``--no-strict`` degrades gracefully: failed sweep points render as
+  ERR cells instead of aborting the artifact.
+- ``--check-invariants`` audits every simulated command stream against
+  the DRAM datasheet timing (slower; a validation mode).
 """
 
 from __future__ import annotations
@@ -50,6 +61,7 @@ from repro.analysis.export import (
     export_xdr,
 )
 from repro.core.config import SystemConfig
+from repro.resilience import SweepCheckpoint
 from repro.usecase.levels import level_by_name
 
 
@@ -81,6 +93,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for sweep simulation (0 = one per CPU; "
             "default: in-process); results are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record completed sweep points to FILE (JSON lines) as they "
+            "finish; combine with --resume to pick up an interrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse the points already in --checkpoint FILE instead of "
+            "truncating it; only missing points are recomputed"
+        ),
+    )
+    parser.add_argument(
+        "--no-strict",
+        dest="strict",
+        action="store_false",
+        help=(
+            "degrade gracefully: render failed sweep points as ERR cells "
+            "instead of aborting the artifact"
+        ),
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "audit every simulated DRAM command stream against the "
+            "datasheet timing constraints (slower; validation mode)"
         ),
     )
     parser.add_argument(
@@ -159,8 +206,18 @@ def _run_command(args: argparse.Namespace) -> List[str]:
     if args.workers is not None:
         kwargs["workers"] = args.workers
     budget_only = {k: v for k, v in kwargs.items() if k == "chunk_budget"}
+    if args.checkpoint is not None:
+        if not args.resume:
+            SweepCheckpoint(args.checkpoint).clear()
+        kwargs["checkpoint"] = args.checkpoint
+    if not args.strict:
+        kwargs["strict"] = False
+    if args.check_invariants:
+        kwargs["base_config"] = SystemConfig(check_invariants=True)
     explore_kwargs = {
-        k: v for k, v in kwargs.items() if k in ("chunk_budget", "workers")
+        k: v
+        for k, v in kwargs.items()
+        if k in ("chunk_budget", "workers", "strict")
     }
     csv_dir = _csv_dir(args)
 
@@ -227,7 +284,12 @@ def _run_command(args: argparse.Namespace) -> List[str]:
     if command == "report":
         from repro.analysis.reportgen import write_report
 
-        anchors = write_report(args.out, **budget_only)
+        report_kwargs = dict(budget_only)
+        if not args.strict:
+            report_kwargs["strict"] = False
+        if args.check_invariants:
+            report_kwargs["base_config"] = SystemConfig(check_invariants=True)
+        anchors = write_report(args.out, **report_kwargs)
         held = sum(a.holds for a in anchors)
         sections.append(
             f"wrote {args.out}: {held}/{len(anchors)} paper anchors reproduced"
@@ -268,6 +330,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint FILE")
     for section in _run_command(args):
         print(section)
         print()

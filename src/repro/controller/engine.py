@@ -57,7 +57,10 @@ from repro.dram.datasheet import DeviceDescriptor
 from repro.dram.device import NO_OPEN_ROW
 from repro.dram.powerstate import ImmediatePowerDown, PowerDownPolicy
 from repro.dram.protocol import CommandRecord, ProtocolChecker
-from repro.errors import AddressError, ConfigurationError
+from repro.errors import AddressError, ConfigurationError, ProtocolError
+
+#: How many trailing commands a runtime invariant failure reports.
+_VIOLATION_HISTORY = 12
 
 #: Accepted run formats: ChannelRun objects or raw (op, start, count[, arrival]) tuples.
 RunLike = Union[ChannelRun, Tuple[int, int, int], Tuple[int, int, int, int]]
@@ -152,6 +155,15 @@ class ChannelEngine:
         DRAM-interconnect overhead model.
     queue:
         Command-queue depth model.
+    check_invariants:
+        Audit every run's command stream against the datasheet timing
+        constraints (tRCD/tRP/tRAS ordering, power-down legality,
+        refresh cadence) and raise :class:`~repro.errors.ProtocolError`
+        on any violation.  The checker derives its constraints
+        independently from the datasheet, so an engine bug that issues
+        a command early surfaces as a concrete error instead of
+        silently inflating bandwidth.  Costs roughly one extra log
+        append plus one audit pass per command (~2x per-burst cost).
     """
 
     def __init__(
@@ -163,11 +175,13 @@ class ChannelEngine:
         power_down: PowerDownPolicy = None,
         interconnect: InterconnectModel = None,
         queue: CommandQueueModel = None,
+        check_invariants: bool = False,
     ) -> None:
         device.timing.validate_frequency(freq_mhz)
         self.device = device
         self.freq_mhz = freq_mhz
         self.timing = device.timing.at_frequency(freq_mhz)
+        self.check_invariants = bool(check_invariants)
         self.mapping = AddressMapping.build(device.geometry, multiplexing)
         self.page_policy = page_policy
         self.power_down = power_down if power_down is not None else ImmediatePowerDown()
@@ -211,8 +225,38 @@ class ChannelEngine:
 
     def make_checker(self) -> ProtocolChecker:
         """Build a protocol checker matched to this engine's device and
-        clock, for auditing a ``command_log``."""
-        return ProtocolChecker(self.timing, self.device.geometry)
+        clock, for auditing a ``command_log``.
+
+        The checker's constraints are re-derived from the datasheet
+        (``device.timing``), *not* taken from the engine's scheduling
+        state: a corrupted scheduling parameter (see
+        :func:`repro.resilience.faults.corrupt_engine_timing`) is then
+        a divergence the audit catches rather than inherits.
+        """
+        return ProtocolChecker(
+            self.device.timing.at_frequency(self.freq_mhz),
+            self.device.geometry,
+        )
+
+    def _audit(self, command_log: list) -> None:
+        """Audit a finished run's command stream, raising
+        :class:`~repro.errors.ProtocolError` with the violations and
+        the tail of the offending command history."""
+        violations = self.make_checker().check(command_log)
+        if not violations:
+            return
+        shown = violations[:5]
+        lines = [
+            f"{len(violations)} DRAM protocol violation(s) at "
+            f"{self.freq_mhz:g} MHz:"
+        ]
+        lines += [f"  {v}" for v in shown]
+        if len(violations) > len(shown):
+            lines.append(f"  ... and {len(violations) - len(shown)} more")
+        tail = command_log[-_VIOLATION_HISTORY:]
+        lines.append(f"last {len(tail)} commands:")
+        lines += [f"  {record}" for record in tail]
+        raise ProtocolError("\n".join(lines))
 
     def run(
         self,
@@ -233,6 +277,8 @@ class ChannelEngine:
         simulator's runtime.
         """
         normalised = self._normalise(runs)
+        if self.check_invariants and command_log is None:
+            command_log = []
         log_append = command_log.append if command_log is not None else None
 
         timing = self.timing
@@ -498,6 +544,9 @@ class ChannelEngine:
                         act_ready[bank] = f
 
         finish = bus_free if bus_free > cmd_free else cmd_free
+
+        if self.check_invariants:
+            self._audit(command_log)
 
         tck = timing.t_ck_ns
         total_ns = finish * tck

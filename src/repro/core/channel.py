@@ -30,6 +30,7 @@ class Channel:
             power_down=config.power_down,
             interconnect=config.interconnect,
             queue=config.queue,
+            check_invariants=config.check_invariants,
         )
         self.power_model = PowerModel(config.device, config.freq_mhz)
 

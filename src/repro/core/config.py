@@ -52,6 +52,11 @@ class SystemConfig:
     #: caps the pool at N processes.  Results are bit-identical either
     #: way -- see :mod:`repro.parallel` and docs/architecture.md.
     parallelism: int = 1
+    #: Audit every engine run's command stream against the datasheet
+    #: timing constraints, raising :class:`~repro.errors.ProtocolError`
+    #: on any violation.  Roughly doubles per-burst simulation cost;
+    #: intended for validation runs, not large sweeps.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.channels < 1 or self.channels > 64:

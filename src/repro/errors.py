@@ -7,6 +7,8 @@ mistakes (their fault, fix the config) from internal protocol violations
 
 from __future__ import annotations
 
+from typing import Mapping, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -36,3 +38,39 @@ class ProtocolError(ReproError):
 
 class TraceFormatError(ReproError):
     """A trace file line could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """A simulation failed at runtime.
+
+    Covers failures *inside* a simulation run (as opposed to rejected
+    configurations, which raise :class:`ConfigurationError` before any
+    simulation starts): injected faults, corrupted inputs discovered
+    mid-run, and worker-side crashes surfaced by the sweep runners.
+    """
+
+
+class WorkerError(SimulationError):
+    """A sweep worker failed while simulating one point.
+
+    Raised by the sweep runners in ``strict`` mode instead of letting a
+    bare worker exception propagate context-free.  Carries the sweep
+    coordinates of the failed point (``coords``, e.g. level name,
+    channel count and clock) and the worker-side traceback rendered as
+    a string (``traceback``) so the failure can be attributed without
+    re-running the sweep.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        coords: Optional[Mapping[str, object]] = None,
+        traceback: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.coords = dict(coords) if coords else {}
+        self.traceback = traceback
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file could not be read or written."""

@@ -63,13 +63,13 @@ def parse_trace_line(line: str, lineno: int = 0) -> MasterTransaction:
         size = int(fields[2], 0)
         arrival = float(fields[3]) if len(fields) == 4 else 0.0
     except ValueError as exc:
-        raise TraceFormatError(f"line {lineno}: {exc}") from exc
+        raise TraceFormatError(f"line {lineno}: {exc} in {line!r}") from exc
     try:
         return MasterTransaction(
             op=_OPS[op_name], address=address, size=size, arrival_ns=arrival
         )
     except Exception as exc:
-        raise TraceFormatError(f"line {lineno}: {exc}") from exc
+        raise TraceFormatError(f"line {lineno}: {exc} in {line!r}") from exc
 
 
 def read_trace(path: PathLike) -> List[MasterTransaction]:

@@ -23,11 +23,23 @@ regardless of completion order, and each worker performs exactly the
 computation the sequential path would (no shared mutable state, no
 work stealing that could reorder floating-point reductions).
 
-**Graceful degradation.**  Platforms where process pools cannot start
-(no fork and no picklable entry point, restricted sandboxes without
-semaphores, missing ``_multiprocessing``) silently fall back to an
-in-process map with identical results.  A broken pool mid-run is also
-retried in-process -- safe because the mapped functions are pure.
+**Fault tolerance.**  Failures split into two classes with opposite
+treatments (see :mod:`repro.resilience.retry`):
+
+- *transient pool failures* (a worker was killed, the pool could not
+  start, arguments could not cross the process boundary) never lose
+  work: the unfinished jobs are retried on a fresh pool under a
+  deterministic exponential-backoff :class:`RetryPolicy` and, once the
+  attempt budget is exhausted, completed in-process.  Every fallback
+  to the in-process path is announced with a
+  :class:`PoolFallbackWarning` naming the reason, so users on
+  restricted platforms know why ``--workers`` had no effect.
+- *deterministic job failures* (the mapped function raised) are never
+  retried -- a pure function fails the same way every time.  By
+  default the exception propagates; with ``capture_failures=True`` the
+  failed job yields a structured
+  :class:`~repro.resilience.report.JobFailure` record in its result
+  slot and the rest of the map completes.
 
 **Worker semantics.**  ``workers=None`` or ``1`` means in-process
 sequential execution; ``workers=0`` (:data:`AUTO_WORKERS`) means one
@@ -39,11 +51,15 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar, Union
 
 from repro.errors import ConfigurationError
+from repro.resilience.report import JobFailure
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -58,7 +74,6 @@ MAX_WORKERS = 256
 #: Errors that mean "the pool could not do the work", as opposed to
 #: "the mapped function raised": pool start-up failures, workers dying
 #: and arguments/functions that cannot cross the process boundary.
-#: Anything the mapped function itself raises propagates unchanged.
 _POOL_ERRORS = (
     OSError,
     ImportError,
@@ -67,7 +82,29 @@ _POOL_ERRORS = (
     pickle.PicklingError,
 )
 
+#: Future-level errors that indict the pool, not the job.  A future
+#: whose exception is any *other* type carries the mapped function's
+#: own failure and is handled per the ``capture_failures`` contract.
+_TRANSIENT_FUTURE_ERRORS = (BrokenProcessPool, pickle.PicklingError)
+
 _pool_probe: Optional[bool] = None
+
+
+class PoolFallbackWarning(RuntimeWarning):
+    """The process pool was abandoned and work ran in-process.
+
+    Results are unaffected (the fallback is deterministic); the
+    warning exists so a silent loss of parallelism is diagnosable.
+    """
+
+
+def _warn_fallback(reason: str) -> None:
+    warnings.warn(
+        PoolFallbackWarning(
+            f"parallel_map fell back to in-process execution: {reason}"
+        ),
+        stacklevel=4,
+    )
 
 
 def available_cpus() -> int:
@@ -122,40 +159,156 @@ def pool_supported() -> bool:
     return _pool_probe
 
 
+def _serial_map(
+    fn: Callable[[T], R],
+    pending: Dict[int, T],
+    results: Dict[int, Union[R, JobFailure]],
+    capture_failures: bool,
+    on_result: Optional[Callable[[int, R], None]],
+) -> None:
+    """Run ``pending`` jobs in-process, filling ``results`` by index."""
+    for index in sorted(pending):
+        job = pending[index]
+        try:
+            value = fn(job)
+        except Exception as exc:
+            if not capture_failures:
+                raise
+            results[index] = JobFailure.from_exception(index, job, exc)
+        else:
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+    pending.clear()
+
+
+def _pooled_map(
+    fn: Callable[[T], R],
+    jobs: List[T],
+    effective: int,
+    retry: RetryPolicy,
+    capture_failures: bool,
+    on_result: Optional[Callable[[int, R], None]],
+) -> Dict[int, Union[R, JobFailure]]:
+    """Distribute ``jobs`` over a pool, retrying transient failures.
+
+    Returns the full index->outcome mapping.  Deterministic job
+    failures either propagate (default) or land as
+    :class:`JobFailure` outcomes (``capture_failures``); transient
+    pool failures retry all unfinished jobs on a fresh pool under
+    ``retry``'s deterministic backoff schedule, then finish
+    in-process.
+    """
+    results: Dict[int, Union[R, JobFailure]] = {}
+    pending: Dict[int, T] = dict(enumerate(jobs))
+    failed_attempts = 0
+    while pending:
+        try:
+            max_workers = min(effective, len(pending))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(fn, job): index
+                    for index, job in pending.items()
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    exc = future.exception()
+                    if exc is None:
+                        value = future.result()
+                        results[index] = value
+                        del pending[index]
+                        if on_result is not None:
+                            on_result(index, value)
+                    elif isinstance(exc, _TRANSIENT_FUTURE_ERRORS):
+                        # The pool (or the pickling boundary) failed,
+                        # not the job: escalate to the retry handler
+                        # with the job still pending.
+                        raise exc
+                    else:
+                        # The mapped function raised.  Pure functions
+                        # fail deterministically; never retry.
+                        job = pending.pop(index)
+                        if not capture_failures:
+                            raise exc
+                        results[index] = JobFailure.from_exception(
+                            index, job, exc
+                        )
+        except _POOL_ERRORS as exc:
+            failed_attempts += 1
+            if failed_attempts >= retry.max_attempts:
+                _warn_fallback(
+                    f"{type(exc).__name__}: {exc} (after {failed_attempts} "
+                    f"pool attempt(s)); finishing {len(pending)} job(s) "
+                    "in-process"
+                )
+                _serial_map(fn, pending, results, capture_failures, on_result)
+            else:
+                delay = retry.delay_s(failed_attempts)
+                if delay > 0:
+                    time.sleep(delay)
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: Optional[int] = None,
-) -> List[R]:
-    """Order-preserving map over independent jobs.
+    retry: Optional[RetryPolicy] = None,
+    capture_failures: bool = False,
+    on_result: Optional[Callable[[int, R], None]] = None,
+) -> List[Union[R, JobFailure]]:
+    """Order-preserving, fault-tolerant map over independent jobs.
 
     With an effective worker count of 1 (the default) this is a plain
-    in-process list comprehension.  With more, jobs are distributed
-    over a process pool and the results are collected *in input
-    order*, so callers observe exactly the sequential output.
+    in-process loop.  With more, jobs are distributed over a process
+    pool and the results are collected *in input order*, so callers
+    observe exactly the sequential output.
 
     ``fn`` must be a pure module-level callable and ``items`` must be
     picklable; when either condition fails, or the platform cannot
-    start worker processes at all, the map falls back in-process and
-    still returns the identical result.  Exceptions raised by ``fn``
-    propagate to the caller either way.
+    start worker processes at all, the map falls back in-process
+    (announced with a :class:`PoolFallbackWarning`) and still returns
+    the identical result.
+
+    Failure handling:
+
+    - Transient pool failures (a killed worker, ``BrokenProcessPool``)
+      re-execute the unfinished jobs on a fresh pool under ``retry``
+      (default: :data:`~repro.resilience.retry.DEFAULT_RETRY_POLICY`),
+      with jitterless deterministic backoff delays, before finishing
+      in-process.  No work is lost and no job runs twice to
+      completion -- only jobs whose results never arrived are retried.
+    - Exceptions raised by ``fn`` are deterministic: they are never
+      retried.  By default the first one propagates to the caller;
+      with ``capture_failures=True`` each failed job's result slot
+      holds a :class:`~repro.resilience.report.JobFailure` record and
+      every other job still completes.
+
+    ``on_result`` (when given) is called in the parent process as
+    ``on_result(index, value)`` the moment each job *succeeds* -- in
+    completion order, not input order -- which is what lets sweep
+    checkpoints record points as they finish.
     """
     jobs = list(items)
     effective = resolve_workers(workers, len(jobs))
+    policy = retry if retry is not None else DEFAULT_RETRY_POLICY
     if effective <= 1:
-        return [fn(job) for job in jobs]
+        results: Dict[int, Union[R, JobFailure]] = {}
+        _serial_map(fn, dict(enumerate(jobs)), results, capture_failures, on_result)
+        return [results[i] for i in range(len(jobs))]
     try:
         # Probe before starting a pool: an unpicklable fn (lambda,
         # closure, bound method) surfaces as an AttributeError or
         # TypeError from deep inside the pool's feeder thread, so it
         # is far cleaner to detect it up front.
         pickle.dumps(fn)
-    except Exception:
-        return [fn(job) for job in jobs]
-    try:
-        with ProcessPoolExecutor(max_workers=effective) as pool:
-            return list(pool.map(fn, jobs))
-    except _POOL_ERRORS:
-        # The pool infrastructure failed, not the jobs: rerun
-        # in-process.  Safe because the mapped functions are pure.
-        return [fn(job) for job in jobs]
+    except Exception as exc:
+        _warn_fallback(
+            f"function {fn!r} cannot cross the process boundary "
+            f"({type(exc).__name__})"
+        )
+        results = {}
+        _serial_map(fn, dict(enumerate(jobs)), results, capture_failures, on_result)
+        return [results[i] for i in range(len(jobs))]
+    outcome = _pooled_map(fn, jobs, effective, policy, capture_failures, on_result)
+    return [outcome[i] for i in range(len(jobs))]

@@ -1,0 +1,42 @@
+"""Fault tolerance for sweeps and the parallel execution layer.
+
+The paper's evaluation is a grid of dozens of independent simulation
+points; at production scale a grid run must survive crashed workers,
+pathological points and interruptions without discarding completed
+work.  This package supplies the machinery:
+
+- :mod:`repro.resilience.retry` -- deterministic exponential backoff
+  for transient pool failures (:class:`RetryPolicy`);
+- :mod:`repro.resilience.report` -- structured per-job failure records
+  (:class:`JobFailure`) and the graceful-degradation sweep result
+  (:class:`SweepReport`);
+- :mod:`repro.resilience.checkpoint` -- the append-only JSON-lines
+  checkpoint store behind ``sweep_use_case(checkpoint=...)`` and the
+  CLI's ``--checkpoint``/``--resume`` (:class:`SweepCheckpoint`);
+- :mod:`repro.resilience.faults` -- controlled fault injection (worker
+  crash on the Nth job, deterministic job failure, corrupted timing
+  parameters, malformed request streams) for testing all of the above.
+
+The runtime DRAM-protocol invariant checker lives with the protocol
+model (:class:`repro.dram.protocol.ProtocolChecker`) and is enabled
+per-configuration via ``SystemConfig(check_invariants=True)``.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWarning,
+    SweepCheckpoint,
+)
+from repro.resilience.report import JobFailure, SweepReport
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointWarning",
+    "DEFAULT_RETRY_POLICY",
+    "JobFailure",
+    "NO_RETRY",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "SweepReport",
+]

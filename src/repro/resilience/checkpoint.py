@@ -1,0 +1,148 @@
+"""JSON-lines checkpoint store for sweep resume.
+
+A sweep checkpoint is an append-only JSON-lines file: one line per
+completed sweep point, written (and flushed) the moment the point
+finishes, so an interrupted 100-point sweep that died at point 70
+resumes with exactly 30 points of work.
+
+Line format (version 1)::
+
+    {"v": 1, "key": "<sha256 of the job description>",
+     "coords": {"level": "4", "channels": 4, "freq_mhz": 400.0},
+     "data": "<base64(zlib(pickle(result)))>"}
+
+- ``key`` identifies the point: a SHA-256 over the ``repr`` of the
+  full job description (level, configuration, scale, budget, block
+  size).  Two sweeps share work if and only if their job descriptions
+  match exactly, so a checkpoint file can safely be shared between
+  e.g. the Fig. 4 and Fig. 5 runners (which sweep identical points)
+  while a changed configuration never aliases a stale result.
+- ``coords`` is a small human-readable coordinate dict, so a plain
+  ``grep``/``jq`` over the file shows which points are done.
+- ``data`` is the pickled result payload; pickling (rather than a
+  lossy JSON projection) is what makes resumed sweeps bit-identical
+  to uninterrupted ones.
+
+A truncated final line -- the signature of a run killed mid-write --
+is skipped with a warning rather than poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import warnings
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import CheckpointError
+
+PathLike = Union[str, Path]
+
+#: Current checkpoint line format version.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointWarning(UserWarning):
+    """A checkpoint file contained lines that had to be skipped."""
+
+
+class SweepCheckpoint:
+    """Append-only store of completed sweep points (JSON lines)."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    @staticmethod
+    def key_for(job: Any) -> str:
+        """Stable content key for one job description.
+
+        ``repr`` of the plain dataclasses/enums/numbers making up a
+        sweep job is deterministic across processes and runs (unlike
+        ``hash()``, which is salted, or ``pickle``, whose byte stream
+        is not guaranteed stable across versions).
+        """
+        return hashlib.sha256(repr(job).encode("utf-8")).hexdigest()
+
+    def load(self) -> Dict[str, Any]:
+        """Read all completed points: ``{key: result}``.
+
+        Returns an empty dict when the file does not exist.  Undecodable
+        lines (truncated tail of a killed run) are skipped with a
+        :class:`CheckpointWarning`; a structurally valid line with an
+        unknown version raises :class:`CheckpointError` -- that file is
+        from a different format, not a damaged copy of this one.
+        """
+        if not self.path.exists():
+            return {}
+        done: Dict[str, Any] = {}
+        skipped = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    skipped += 1
+                    continue
+                if not isinstance(entry, dict) or "key" not in entry:
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: not a checkpoint entry"
+                    )
+                if entry.get("v") != CHECKPOINT_VERSION:
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: unsupported checkpoint "
+                        f"version {entry.get('v')!r} "
+                        f"(expected {CHECKPOINT_VERSION})"
+                    )
+                try:
+                    payload = pickle.loads(
+                        zlib.decompress(base64.b64decode(entry["data"]))
+                    )
+                except Exception:
+                    skipped += 1
+                    continue
+                done[entry["key"]] = payload
+        if skipped:
+            warnings.warn(
+                CheckpointWarning(
+                    f"{self.path}: skipped {skipped} unreadable checkpoint "
+                    "line(s) (interrupted write?); those points will be "
+                    "recomputed"
+                ),
+                stacklevel=2,
+            )
+        return done
+
+    def record(self, key: str, coords: Dict[str, Any], result: Any) -> None:
+        """Append one completed point and flush it to disk."""
+        try:
+            data = base64.b64encode(
+                zlib.compress(pickle.dumps(result))
+            ).decode("ascii")
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint result for {coords} is not picklable: {exc}"
+            ) from exc
+        line = json.dumps(
+            {"v": CHECKPOINT_VERSION, "key": key, "coords": coords, "data": data}
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (start the sweep from scratch)."""
+        if self.path.exists():
+            self.path.unlink()
+
+    def __len__(self) -> int:
+        """Number of readable completed points currently on disk."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CheckpointWarning)
+            return len(self.load())

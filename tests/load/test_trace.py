@@ -84,6 +84,69 @@ class TestParsing:
             parse_trace_line("R nope 16", lineno=7)
 
 
+class TestMalformedFiles:
+    """Every malformed-input path must name the line number and quote
+    the offending text, so a bad multi-megabyte trace is debuggable."""
+
+    def test_too_few_fields(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_trace_line("R 0x100", lineno=3)
+        assert "line 3" in str(excinfo.value)
+        assert "'R 0x100'" in str(excinfo.value)
+
+    def test_too_many_fields(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_trace_line("R 0 16 0.0 junk", lineno=9)
+        assert "line 9" in str(excinfo.value)
+        assert "'R 0 16 0.0 junk'" in str(excinfo.value)
+
+    def test_unknown_op_names_the_op(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_trace_line("Q 0 16", lineno=2)
+        message = str(excinfo.value)
+        assert "line 2" in message and "'Q'" in message
+
+    def test_bad_address_quotes_line(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_trace_line("R 0xGG 16", lineno=4)
+        message = str(excinfo.value)
+        assert "line 4" in message and "'R 0xGG 16'" in message
+
+    def test_bad_size_quotes_line(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_trace_line("W 0x10 sixteen", lineno=5)
+        message = str(excinfo.value)
+        assert "line 5" in message and "'W 0x10 sixteen'" in message
+
+    def test_bad_arrival_quotes_line(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_trace_line("W 0x10 16 soon", lineno=6)
+        message = str(excinfo.value)
+        assert "line 6" in message and "'W 0x10 16 soon'" in message
+
+    def test_invalid_values_quote_line(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_trace_line("R 0 0", lineno=8)  # zero size
+        message = str(excinfo.value)
+        assert "line 8" in message and "'R 0 0'" in message
+
+    def test_truncated_file_reports_last_line(self, tmp_path):
+        path = tmp_path / "truncated.trace"
+        path.write_text("# header\nR 0x1000 4096\nW 0x2000 4096\nR 0x\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(path)
+        message = str(excinfo.value)
+        assert "line 4" in message and "'R 0x'" in message
+
+    def test_file_with_wrong_field_count_mid_stream(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("R 0x1000 4096\nW 0x2000\nR 0x3000 64\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(path)
+        message = str(excinfo.value)
+        assert "line 2" in message and "'W 0x2000'" in message
+
+
 class TestLoadModelTraces:
     def test_frame_trace_survives_round_trip(self, tmp_path):
         from repro.load.model import VideoRecordingLoadModel

@@ -1,0 +1,164 @@
+"""Checkpoint store and sweep resume semantics."""
+
+import json
+
+import pytest
+
+import repro.analysis.sweep as sweep_mod
+from repro.analysis.sweep import simulate_use_case, sweep_use_case
+from repro.core.config import SystemConfig
+from repro.errors import CheckpointError
+from repro.resilience import SweepCheckpoint
+from repro.resilience.checkpoint import CHECKPOINT_VERSION, CheckpointWarning
+from repro.usecase.levels import level_by_name
+
+BUDGET = 2000
+LEVEL = level_by_name("3.1")
+CONFIGS = [SystemConfig(channels=m) for m in (1, 2, 4)]
+
+
+class TestStore:
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "none.ckpt")
+        assert store.load() == {}
+        assert len(store) == 0
+
+    def test_round_trip(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "s.ckpt")
+        key = store.key_for(("job", 1))
+        store.record(key, {"index": 1}, {"value": [1.5, "x"]})
+        assert store.load() == {key: {"value": [1.5, "x"]}}
+        assert len(store) == 1
+
+    def test_key_is_stable_and_distinct(self):
+        job_a = (0, LEVEL, CONFIGS[0], None, BUDGET, 64)
+        job_b = (1, LEVEL, CONFIGS[1], None, BUDGET, 64)
+        assert SweepCheckpoint.key_for(job_a) == SweepCheckpoint.key_for(job_a)
+        assert SweepCheckpoint.key_for(job_a) != SweepCheckpoint.key_for(job_b)
+
+    def test_truncated_tail_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "t.ckpt"
+        store = SweepCheckpoint(path)
+        key = store.key_for("good")
+        store.record(key, {}, 42)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "key": "dead", "da')  # killed mid-write
+        with pytest.warns(CheckpointWarning, match="recomputed"):
+            done = store.load()
+        assert done == {key: 42}
+
+    def test_undecodable_payload_is_skipped(self, tmp_path):
+        path = tmp_path / "p.ckpt"
+        line = json.dumps(
+            {"v": CHECKPOINT_VERSION, "key": "k", "coords": {}, "data": "!!!"}
+        )
+        path.write_text(line + "\n")
+        with pytest.warns(CheckpointWarning):
+            assert SweepCheckpoint(path).load() == {}
+
+    def test_unknown_version_raises(self, tmp_path):
+        path = tmp_path / "v.ckpt"
+        path.write_text(json.dumps({"v": 99, "key": "k", "data": ""}) + "\n")
+        with pytest.raises(CheckpointError, match="version"):
+            SweepCheckpoint(path).load()
+
+    def test_foreign_json_raises(self, tmp_path):
+        path = tmp_path / "f.ckpt"
+        path.write_text('{"not": "a checkpoint"}\n')
+        with pytest.raises(CheckpointError, match="not a checkpoint entry"):
+            SweepCheckpoint(path).load()
+
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        store = SweepCheckpoint(path)
+        store.record(store.key_for("x"), {}, 1)
+        assert path.exists()
+        store.clear()
+        assert not path.exists()
+        store.clear()  # idempotent
+
+    def test_unpicklable_result_raises(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "u.ckpt")
+        with pytest.raises(CheckpointError, match="not picklable"):
+            store.record("k", {"index": 0}, lambda: None)
+
+
+class TestSweepResume:
+    def test_checkpoint_records_points_as_they_finish(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        report = sweep_use_case(
+            [LEVEL], CONFIGS, chunk_budget=BUDGET, checkpoint=path
+        )
+        assert report.ok and report.resumed == 0
+        assert len(SweepCheckpoint(path)) == len(CONFIGS)
+        # Coordinates are greppable plain JSON.
+        coords = [
+            json.loads(line)["coords"]
+            for line in path.read_text().splitlines()
+        ]
+        assert {c["channels"] for c in coords} == {1, 2, 4}
+
+    def test_resume_skips_completed_points(self, tmp_path, monkeypatch):
+        path = tmp_path / "sweep.ckpt"
+        first = sweep_use_case(
+            [LEVEL], CONFIGS, chunk_budget=BUDGET, checkpoint=path
+        )
+
+        calls = []
+        real = simulate_use_case
+
+        def counting(*a, **kw):
+            calls.append(a)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(sweep_mod, "simulate_use_case", counting)
+        second = sweep_use_case(
+            [LEVEL], CONFIGS, chunk_budget=BUDGET, checkpoint=path
+        )
+        assert calls == []  # nothing recomputed
+        assert second.resumed == len(CONFIGS)
+        assert list(second) == list(first)
+
+    def test_partial_checkpoint_recomputes_only_missing(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "sweep.ckpt"
+        sweep_use_case([LEVEL], CONFIGS, chunk_budget=BUDGET, checkpoint=path)
+
+        # Drop the middle point from the checkpoint, as if the run had
+        # been interrupted before writing it.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], lines[2]]) + "\n")
+
+        calls = []
+        real = simulate_use_case
+
+        def counting(*a, **kw):
+            calls.append(a)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(sweep_mod, "simulate_use_case", counting)
+        resumed = sweep_use_case(
+            [LEVEL], CONFIGS, chunk_budget=BUDGET, checkpoint=path
+        )
+        assert len(calls) == 1  # exactly the missing point
+        assert resumed.resumed == 2
+
+        # Bit-identical to an uninterrupted sequential sweep.
+        fresh = sweep_use_case([LEVEL], CONFIGS, chunk_budget=BUDGET)
+        assert list(resumed) == list(fresh)
+
+    def test_changed_parameters_share_nothing(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        sweep_use_case([LEVEL], CONFIGS, chunk_budget=BUDGET, checkpoint=path)
+        # A different budget is a different job: nothing resumes.
+        report = sweep_use_case(
+            [LEVEL], CONFIGS, chunk_budget=BUDGET * 2, checkpoint=path
+        )
+        assert report.resumed == 0
+
+    def test_sweep_without_checkpoint_is_unchanged(self):
+        report = sweep_use_case([LEVEL], CONFIGS, chunk_budget=BUDGET)
+        assert report.ok
+        assert report.resumed == 0
+        assert [p.config.channels for p in report] == [1, 2, 4]

@@ -107,3 +107,42 @@ class TestNewSubcommands:
         out = capsys.readouterr().out
         assert "correctness oracles" in out
         assert "VALIDATION FAILED" not in out
+
+
+class TestResilienceFlags:
+    def test_checkpoint_writes_points(self, tmp_path, capsys, fast_args):
+        ckpt = tmp_path / "fig4.ckpt"
+        assert main(fast_args + ["--checkpoint", str(ckpt), "fig4"]) == 0
+        assert ckpt.exists()
+        assert len(ckpt.read_text().splitlines()) > 0
+
+    def test_resume_reuses_checkpoint(self, tmp_path, capsys, fast_args):
+        ckpt = tmp_path / "fig4.ckpt"
+        assert main(fast_args + ["--checkpoint", str(ckpt), "fig4"]) == 0
+        first = capsys.readouterr().out
+        lines_after_first = len(ckpt.read_text().splitlines())
+        assert main(
+            fast_args + ["--checkpoint", str(ckpt), "--resume", "fig4"]
+        ) == 0
+        second = capsys.readouterr().out
+        # Identical artifact, and no points were re-recorded.
+        assert second == first
+        assert len(ckpt.read_text().splitlines()) == lines_after_first
+
+    def test_checkpoint_without_resume_truncates(self, tmp_path, fast_args):
+        ckpt = tmp_path / "fig4.ckpt"
+        ckpt.write_text("stale garbage\n")
+        assert main(fast_args + ["--checkpoint", str(ckpt), "fig4"]) == 0
+        assert "stale garbage" not in ckpt.read_text()
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["--resume", "fig4"])
+
+    def test_no_strict_flag_accepted(self, capsys, fast_args):
+        assert main(fast_args + ["--no-strict", "fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_check_invariants_fig3(self, capsys):
+        assert main(["--budget", "2000", "--check-invariants", "fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
