@@ -1,0 +1,111 @@
+"""Telemetry overhead guard: a disabled session must stay free.
+
+``MultiChannelMemorySystem.run(telemetry=None)`` is the untapped
+baseline.  Passing ``Telemetry.disabled()`` routes every tap through
+the null registry/profiler instruments, and this guard pins that path
+to < 2 % of the baseline on an engine-dominated run -- the contract
+that lets library code thread a telemetry session unconditionally.
+
+The measurement is paired and interleaved (baseline and tapped runs
+alternate on the same system and transaction list, best-of-N each) so
+that machine noise hits both sides equally; the comparison retries a
+few times before failing, because a single noisy scheduler event can
+still skew one side of one attempt.
+
+An enabled session is also measured.  It is *allowed* to cost more --
+phase timing is real work -- but taps happen per run, never per burst,
+so it is loosely pinned too: a regression past the loose bound means
+someone added per-burst instrumentation to the hot loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import show
+from repro.core.config import SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.load.model import VideoRecordingLoadModel
+from repro.telemetry import Telemetry
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+#: Workload: 1/8 of a 720p30 frame on 4 channels -- the same
+#: engine-dominated shape as bench_engine's end-to-end benchmark.
+SCALE = 0.125
+
+#: Best-of-N rounds per attempt; paired, so 2N runs per attempt.
+ROUNDS = 5
+
+#: Noisy-machine retries before the guard is allowed to fail.
+ATTEMPTS = 3
+
+#: The contract: disabled telemetry costs < 2 %.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Loose bound on the *enabled* path: catches accidental per-burst
+#: instrumentation, not honest per-run bookkeeping.
+MAX_ENABLED_OVERHEAD = 0.25
+
+
+def _workload():
+    load = VideoRecordingLoadModel(VideoRecordingUseCase(level_by_name("3.1")))
+    system = MultiChannelMemorySystem(SystemConfig(channels=4, freq_mhz=400.0))
+    return system, load.generate_frame(scale=SCALE)
+
+
+def _paired_best(system, txns, make_telemetry, rounds=ROUNDS):
+    """Interleaved best-of-N: (baseline seconds, tapped seconds)."""
+    best_base = best_tap = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        system.run(txns, scale=SCALE)
+        best_base = min(best_base, time.perf_counter() - start)
+        telemetry = make_telemetry()
+        start = time.perf_counter()
+        system.run(txns, scale=SCALE, telemetry=telemetry)
+        best_tap = min(best_tap, time.perf_counter() - start)
+    return best_base, best_tap
+
+
+def _guarded_ratio(make_telemetry, bound):
+    """Best overhead ratio across attempts (early-out under ``bound``)."""
+    system, txns = _workload()
+    system.run(txns, scale=SCALE)  # warm caches before timing
+    ratio = float("inf")
+    for _ in range(ATTEMPTS):
+        base, tapped = _paired_best(system, txns, make_telemetry)
+        ratio = min(ratio, tapped / base)
+        if ratio <= 1.0 + bound:
+            break
+    return ratio
+
+
+def test_disabled_telemetry_overhead():
+    """run(telemetry=Telemetry.disabled()) costs < 2 % vs untapped."""
+    ratio = _guarded_ratio(Telemetry.disabled, MAX_DISABLED_OVERHEAD)
+    show(
+        "telemetry overhead (disabled)",
+        f"disabled/none runtime ratio: {ratio:.4f} "
+        f"(bound {1.0 + MAX_DISABLED_OVERHEAD:.2f})",
+    )
+    assert ratio <= 1.0 + MAX_DISABLED_OVERHEAD, (
+        f"disabled telemetry slowed the engine path by "
+        f"{(ratio - 1.0) * 100:.1f} % (> {MAX_DISABLED_OVERHEAD * 100:.0f} % "
+        "budget); something is tapping the hot loop"
+    )
+
+
+def test_enabled_telemetry_overhead():
+    """An enabled session taps per run, not per burst."""
+    ratio = _guarded_ratio(Telemetry.enabled, MAX_ENABLED_OVERHEAD)
+    show(
+        "telemetry overhead (enabled)",
+        f"enabled/none runtime ratio: {ratio:.4f} "
+        f"(bound {1.0 + MAX_ENABLED_OVERHEAD:.2f})",
+    )
+    assert ratio <= 1.0 + MAX_ENABLED_OVERHEAD, (
+        f"enabled telemetry slowed the engine path by "
+        f"{(ratio - 1.0) * 100:.1f} %; per-run taps should be far cheaper "
+        "-- did per-burst instrumentation sneak into the hot loop?"
+    )

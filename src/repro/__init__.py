@@ -85,6 +85,18 @@ from repro.resilience import (
     SweepCheckpoint,
     SweepReport,
 )
+from repro.telemetry import (
+    CallbackProgressSink,
+    MetricsRegistry,
+    PhaseProfiler,
+    ProfileReport,
+    ProgressEvent,
+    ProgressSink,
+    StreamProgressSink,
+    Telemetry,
+    validate_metrics,
+    write_metrics,
+)
 from repro.usecase import (
     FORMAT_1080P,
     FORMAT_2160P,
@@ -155,6 +167,17 @@ __all__ = [
     "RetryPolicy",
     "SweepCheckpoint",
     "SweepReport",
+    # telemetry
+    "CallbackProgressSink",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "ProfileReport",
+    "ProgressEvent",
+    "ProgressSink",
+    "StreamProgressSink",
+    "Telemetry",
+    "validate_metrics",
+    "write_metrics",
     # usecase
     "FORMAT_1080P",
     "FORMAT_2160P",

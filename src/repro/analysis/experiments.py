@@ -42,6 +42,8 @@ from repro.core.interleave import ChannelInterleaver
 from repro.errors import ConfigurationError
 from repro.power.xdr import XDR_CELL_BE, XdrReference
 from repro.resilience.report import JobFailure
+from repro.telemetry.progress import ProgressSink
+from repro.telemetry.session import Telemetry
 from repro.usecase.bandwidth import BandwidthTable, compute_table1
 from repro.usecase.levels import PAPER_LEVELS, H264Level, level_by_name
 
@@ -157,6 +159,8 @@ def run_fig3(
     workers: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     strict: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressSink] = None,
 ) -> Fig3Result:
     """Regenerate Fig. 3: sweep the interface clock for the least
     demanding HD level (3.1: 720p at 30 fps) over 1-8 channels.
@@ -181,6 +185,8 @@ def run_fig3(
         workers=workers,
         checkpoint=checkpoint,
         strict=strict,
+        telemetry=telemetry,
+        progress=progress,
         **kwargs,
     )
     access: Dict[float, Dict[int, float]] = {}
@@ -263,6 +269,8 @@ def run_fig4(
     workers: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     strict: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressSink] = None,
 ) -> Fig4Result:
     """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock.
 
@@ -282,6 +290,8 @@ def run_fig4(
         workers=workers,
         checkpoint=checkpoint,
         strict=strict,
+        telemetry=telemetry,
+        progress=progress,
         **kwargs,
     )
     points: Dict[str, Dict[int, SweepPoint]] = {}
@@ -375,6 +385,8 @@ def run_fig5(
     workers: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     strict: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressSink] = None,
 ) -> Fig5Result:
     """Regenerate Fig. 5.  Shares Fig. 4's sweep (the paper derives
     both from the same simulations) -- including its checkpoint file,
@@ -390,6 +402,8 @@ def run_fig5(
             workers=workers,
             checkpoint=checkpoint,
             strict=strict,
+            telemetry=telemetry,
+            progress=progress,
         )
     )
 
@@ -446,6 +460,8 @@ def run_xdr_comparison(
     workers: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     strict: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressSink] = None,
 ) -> XdrComparisonResult:
     """Compare the 8-channel configuration's power against the XDR
     reference across the encoding formats (Section IV).
@@ -462,6 +478,8 @@ def run_xdr_comparison(
             workers=workers,
             checkpoint=checkpoint,
             strict=strict,
+            telemetry=telemetry,
+            progress=progress,
         )
     config = SystemConfig(channels=channels, freq_mhz=freq_mhz)
     per_level: Dict[str, Tuple[float, float]] = {}

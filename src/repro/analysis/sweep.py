@@ -27,7 +27,9 @@ Fault tolerance (see :mod:`repro.resilience`):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
+from functools import partial
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -38,12 +40,15 @@ from repro.core.system import MultiChannelMemorySystem
 from repro.errors import ConfigurationError, WorkerError
 from repro.load.model import DEFAULT_BLOCK_BYTES, VideoRecordingLoadModel
 from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, resolve_workers
 from repro.power.report import FramePowerReport, compute_frame_power
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.faults import maybe_inject
 from repro.resilience.report import JobFailure, SweepReport
 from repro.resilience.retry import RetryPolicy
+from repro.telemetry.profile import NULL_PROFILER
+from repro.telemetry.progress import ProgressSink, SweepProgress
+from repro.telemetry.session import Telemetry
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
 
@@ -81,22 +86,37 @@ def simulate_use_case(
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     use_case: Optional[VideoRecordingUseCase] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SweepPoint:
     """Simulate one frame of ``level``'s recording on ``config``.
 
     ``scale`` overrides the automatic fraction selection (pass 1.0 for
     an exact full-frame run).
+
+    A live ``telemetry`` session attributes wall-clock to the pipeline
+    phases (``load.build``, ``load.scale``, ``load.generate``, the
+    system's ``system.interleave`` / ``system.engine`` /
+    ``system.pool`` and ``power.integrate``) and collects the
+    ``engine.*`` statistics; the returned point is bit-identical with
+    telemetry on, off or absent.
     """
-    if use_case is None:
-        use_case = VideoRecordingUseCase(level)
-    load = VideoRecordingLoadModel(use_case, block_bytes=block_bytes)
-    if scale is None:
-        scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
-    transactions = load.generate_frame(scale=scale)
+    profiler = telemetry.profiler if telemetry is not None else NULL_PROFILER
+    with profiler.phase("load.build"):
+        if use_case is None:
+            use_case = VideoRecordingUseCase(level)
+        load = VideoRecordingLoadModel(use_case, block_bytes=block_bytes)
+    with profiler.phase("load.scale"):
+        if scale is None:
+            scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
+    with profiler.phase("load.generate"):
+        transactions = load.generate_frame(scale=scale)
     system = MultiChannelMemorySystem(config)
-    result = system.run(transactions, scale=scale)
-    power = compute_frame_power(config, result, level.frame_period_ms)
-    verdict = realtime_verdict(result.access_time_ms, level.frame_period_ms)
+    result = system.run(transactions, scale=scale, telemetry=telemetry)
+    with profiler.phase("power.integrate"):
+        power = compute_frame_power(config, result, level.frame_period_ms)
+        verdict = realtime_verdict(result.access_time_ms, level.frame_period_ms)
+    if telemetry is not None:
+        telemetry.registry.counter("sim.points").add(1)
     return SweepPoint(
         config=config, level=level, result=result, power=power, verdict=verdict
     )
@@ -106,7 +126,9 @@ def simulate_use_case(
 SweepJob = Tuple[int, H264Level, SystemConfig, Optional[float], int, int]
 
 
-def _sweep_point_job(job: SweepJob) -> SweepPoint:
+def _sweep_point_job(
+    job: SweepJob, telemetry: Optional[Telemetry] = None
+) -> SweepPoint:
     """Simulate one sweep point (pool worker entry point).
 
     Module-level so it pickles by reference; every argument and the
@@ -114,6 +136,10 @@ def _sweep_point_job(job: SweepJob) -> SweepPoint:
     round trip through the pool is lossless.  The leading index exists
     for checkpoint bookkeeping and as the fault-injection hook the
     resilience tests target.
+
+    ``telemetry`` is only threaded in for in-process sweeps: a pool
+    worker's registry/profiler mutations would die with the worker, so
+    pooled sweeps collect sweep-level metrics in the parent instead.
     """
     index, level, config, scale, chunk_budget, block_bytes = job
     maybe_inject("sweep", index)
@@ -123,6 +149,7 @@ def _sweep_point_job(job: SweepJob) -> SweepPoint:
         scale=scale,
         chunk_budget=chunk_budget,
         block_bytes=block_bytes,
+        telemetry=telemetry,
     )
 
 
@@ -148,6 +175,8 @@ def sweep_use_case(
     checkpoint: Optional[Union[str, Path]] = None,
     strict: bool = True,
     retry: Optional[RetryPolicy] = None,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressSink] = None,
 ) -> SweepReport:
     """Cartesian sweep of levels x configurations.
 
@@ -161,6 +190,15 @@ def sweep_use_case(
     only the missing work.  ``strict=False`` captures per-point
     failures in the report instead of raising; ``retry`` overrides the
     backoff schedule for transient pool failures.
+
+    ``progress`` receives a heartbeat per completed point (and a final
+    summary) as :class:`~repro.telemetry.ProgressEvent`\\ s with
+    done/total counts and an ETA, so long campaigns are observable.
+    ``telemetry`` collects sweep-level metrics (``sweep.points_*``,
+    the ``sweep.run`` timer, a per-point runtime histogram); for
+    in-process sweeps it also reaches the per-point phase profile --
+    pool workers cannot mutate the parent's registry, so pooled sweeps
+    profile only the dispatch.
 
     The report is a drop-in :class:`~collections.abc.Sequence` of the
     successful :class:`SweepPoint`\\ s, so callers that treat the
@@ -193,21 +231,61 @@ def sweep_use_case(
         pending_positions = list(range(len(jobs)))
     pending_jobs = [jobs[position] for position in pending_positions]
 
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.counter("sweep.points_total").add(len(jobs))
+        registry.counter("sweep.points_resumed").add(resumed)
+        # Pre-register at zero so a fully resumed sweep still exports
+        # the counter (a resumed campaign computed nothing, visibly).
+        registry.counter("sweep.points_completed").add(0)
+    tracker = (
+        SweepProgress(progress, total=len(jobs), resumed=resumed)
+        if progress is not None
+        else None
+    )
+
     on_result = None
-    if store is not None:
+    if store is not None or tracker is not None or telemetry is not None:
+        point_timer = time.monotonic
+        last_done = [point_timer()]
 
         def on_result(local_index: int, point: SweepPoint) -> None:
             position = pending_positions[local_index]
-            store.record(keys[position], _job_coords(jobs[position]), point)
+            if store is not None:
+                store.record(keys[position], _job_coords(jobs[position]), point)
+            if telemetry is not None:
+                # Wall-clock between successive completions; under a
+                # pool this is the effective per-point throughput, not
+                # one point's runtime.
+                now = point_timer()
+                telemetry.registry.counter("sweep.points_completed").add(1)
+                telemetry.registry.histogram(
+                    "sweep.point_interval_seconds"
+                ).record(now - last_done[0])
+                last_done[0] = now
+            if tracker is not None:
+                tracker.point_done(_job_coords(jobs[position]))
 
+    # Per-point telemetry (phase profile, engine counters) only works
+    # in-process: a pool worker's mutations die with the worker.
+    point_fn = _sweep_point_job
+    if telemetry is not None and resolve_workers(workers, max(1, len(pending_jobs))) <= 1:
+        point_fn = partial(_sweep_point_job, telemetry=telemetry)
+
+    sweep_timer = (
+        telemetry.registry.timer("sweep.run") if telemetry is not None else None
+    )
+    start = time.perf_counter()
     outcomes = parallel_map(
-        _sweep_point_job,
+        point_fn,
         pending_jobs,
         workers=workers,
         retry=retry,
         capture_failures=True,
         on_result=on_result,
     )
+    if sweep_timer is not None:
+        sweep_timer.record(time.perf_counter() - start)
 
     failures: List[JobFailure] = []
     for local_index, outcome in enumerate(outcomes):
@@ -222,6 +300,11 @@ def sweep_use_case(
             )
         else:
             results[position] = outcome
+
+    if telemetry is not None:
+        telemetry.registry.counter("sweep.points_failed").add(len(failures))
+    if tracker is not None:
+        tracker.finish(failed=len(failures))
 
     if strict and failures:
         first = failures[0]

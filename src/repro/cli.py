@@ -10,6 +10,7 @@ Usage::
     repro-sim xdr
     repro-sim breakdown [--level 4 --channels 4]
     repro-sim explore   [--level 4.2]
+    repro-sim profile fig3 [--freq 400]
     repro-sim all
 
 Every subcommand prints the regenerated table/figure as ASCII; pass
@@ -30,6 +31,16 @@ Fault tolerance (see :mod:`repro.resilience`):
   ERR cells instead of aborting the artifact.
 - ``--check-invariants`` audits every simulated command stream against
   the DRAM datasheet timing (slower; a validation mode).
+
+Observability (see :mod:`repro.telemetry`):
+
+- ``--metrics-out FILE`` writes the run's metrics registry and phase
+  profile to FILE as JSON under the documented ``repro-metrics/1``
+  schema; works with every subcommand.
+- ``--progress`` prints per-point sweep heartbeats (done/total, ETA,
+  failures) to stderr while a sweep runs.
+- ``profile <figure>`` runs one figure's sweep with profiling on and
+  prints the phase breakdown plus the engine statistics.
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ from repro.analysis.export import (
 )
 from repro.core.config import SystemConfig
 from repro.resilience import SweepCheckpoint
+from repro.telemetry import StreamProgressSink, Telemetry, write_metrics
 from repro.usecase.levels import level_by_name
 
 
@@ -131,6 +143,21 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the run's metrics and phase profile to FILE as JSON "
+            "(schema 'repro-metrics/1'; see docs/architecture.md)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print sweep heartbeats (done/total, ETA) to stderr",
+    )
+    parser.add_argument(
         "--csv",
         type=str,
         default=None,
@@ -171,6 +198,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_ex.add_argument("--level", type=str, default="4", help="H.264 level name")
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one figure's sweep with profiling and print the breakdown",
+    )
+    p_prof.add_argument(
+        "figure",
+        choices=("fig3", "fig4", "fig5", "xdr"),
+        help="which figure's sweep to profile",
+    )
+    p_prof.add_argument(
+        "--freq", type=float, default=400.0, help="clock for fig4/fig5, MHz"
+    )
+
     p_rep = sub.add_parser(
         "report", help="write a full reproduction report (markdown)"
     )
@@ -197,7 +237,24 @@ def _csv_dir(args: argparse.Namespace) -> Optional[Path]:
     return path
 
 
+def _format_metrics_summary(telemetry: Telemetry) -> str:
+    """Counter/timer table for the ``profile`` subcommand output."""
+    snapshot = telemetry.registry.as_dict()
+    lines: List[str] = []
+    for name, value in snapshot["counters"].items():
+        lines.append(f"  {name:<34} {value:>14,d}")
+    for name, stats in snapshot["timers"].items():
+        lines.append(
+            f"  {name:<34} {stats['seconds']:>12.3f} s "
+            f"({stats['calls']} call(s))"
+        )
+    return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+
 def _run_command(args: argparse.Namespace) -> List[str]:
+    telemetry: Optional[Telemetry] = None
+    if args.metrics_out is not None or args.command == "profile":
+        telemetry = Telemetry.enabled()
     kwargs = {}
     if args.scale is not None:
         kwargs["scale"] = args.scale
@@ -219,6 +276,10 @@ def _run_command(args: argparse.Namespace) -> List[str]:
         for k, v in kwargs.items()
         if k in ("chunk_budget", "workers", "strict")
     }
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
+    if args.progress:
+        kwargs["progress"] = StreamProgressSink()
     csv_dir = _csv_dir(args)
 
     sections: List[str] = []
@@ -323,6 +384,23 @@ def _run_command(args: argparse.Namespace) -> List[str]:
                 f"{best.config.freq_mhz:g} MHz -> {best.access_time_ms:.1f} ms, "
                 f"{best.total_power_mw:.0f} mW"
             )
+    if command == "profile":
+        figure = args.figure
+        if figure == "fig3":
+            run_fig3(**kwargs)
+        elif figure == "fig4":
+            run_fig4(freq_mhz=args.freq, **kwargs)
+        elif figure == "fig5":
+            run_fig5(freq_mhz=args.freq, **kwargs)
+        else:
+            run_xdr_comparison(**kwargs)
+        sections.append(f"== Phase profile: {figure} ==")
+        sections.append(telemetry.profile_report().format())
+        sections.append("== Metrics ==")
+        sections.append(_format_metrics_summary(telemetry))
+    if args.metrics_out is not None:
+        write_metrics(args.metrics_out, command, telemetry)
+        sections.append(f"wrote metrics to {args.metrics_out}")
     return sections
 
 

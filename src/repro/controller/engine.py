@@ -88,11 +88,34 @@ class ChannelResult:
     states: StateDurations
     #: Column accesses per bank (bank-balance statistics).
     bank_accesses: Tuple[int, ...] = ()
+    #: Accesses whose column command was delayed by the command-queue
+    #: depth bound (burst *i* waiting on the data phase of burst
+    #: *i - depth*).
+    queue_stalls: int = 0
+    #: Row misses that found *another* row open in the bank and had to
+    #: precharge it first (the open-page policy's conflict penalty, as
+    #: opposed to misses into an already-closed bank).
+    bank_conflicts: int = 0
 
     @property
     def finish_ns(self) -> float:
         """Completion time in nanoseconds."""
         return self.finish_cycle * (1000.0 / self.freq_mhz)
+
+    @property
+    def row_misses(self) -> int:
+        """Column accesses that required an ACTIVATE first."""
+        return self.counters.activates
+
+    @property
+    def row_hits(self) -> int:
+        """Column accesses that hit an already-open row."""
+        return max(0, self.counters.reads + self.counters.writes - self.counters.activates)
+
+    @property
+    def power_state_transitions(self) -> int:
+        """CKE transitions: power-down entries plus exits."""
+        return self.counters.power_down_entries + self.counters.power_down_exits
 
     @property
     def total_chunks(self) -> int:
@@ -122,10 +145,12 @@ class ChannelResult:
         """Fraction of elapsed cycles the data bus moved data.
 
         This is the per-channel efficiency the paper's feasibility
-        boundaries hinge on; 1.0 means every cycle carried data.
+        boundaries hinge on; 1.0 means every cycle carried data.  An
+        empty run (nothing elapsed) moved no data and reports 0.0 --
+        an idle channel is not a perfectly efficient one.
         """
         if self.finish_cycle <= 0:
-            return 1.0 if self.data_cycles == 0 else 0.0
+            return 0.0
         return self.data_cycles / self.finish_cycle
 
     @property
@@ -343,6 +368,8 @@ class ChannelEngine:
         n_rd = 0
         n_wr = 0
         n_ref = 0
+        n_qstall = 0
+        n_conflict = 0
         max_chunk = self._max_chunk
 
         for op, start, count, arrival in normalised:
@@ -429,11 +456,13 @@ class ChannelEngine:
                 floor = ring[ring_i]
                 if floor > t0:
                     t0 = floor
+                    n_qstall += 1
 
                 # --- row management -----------------------------------
                 orow = open_row[bank]
                 if orow != row:
                     if orow != NO_OPEN_ROW:
+                        n_conflict += 1
                         tpre = pre_ready[bank]
                         if tpre < t0:
                             tpre = t0
@@ -593,4 +622,6 @@ class ChannelEngine:
             counters=counters,
             states=states,
             bank_accesses=tuple(bank_accesses),
+            queue_stalls=n_qstall,
+            bank_conflicts=n_conflict,
         )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
 
 from repro.controller.engine import ChannelResult
 from repro.dram.commands import CommandCounters, StateDurations
@@ -77,12 +77,17 @@ class SimulationResult:
     def bus_efficiency(self) -> float:
         """Aggregate data-bus efficiency across channels.
 
-        Weighted by elapsed time of the slowest channel: the fraction
-        of total channel-cycles that carried data.
+        The elapsed window is the *slowest* channel's finish cycle --
+        the same convention as the access-time metric -- so the
+        denominator is ``finish_cycle(slowest) * channels`` total
+        channel-cycles, and faster channels' tail idle counts against
+        the aggregate.  An empty run (``finish <= 0``) moved no data
+        and reports 0.0; an idle system is not a perfectly efficient
+        one.
         """
         finish = max(ch.finish_cycle for ch in self.channels)
         if finish <= 0:
-            return 1.0
+            return 0.0
         data = sum(ch.data_cycles for ch in self.channels)
         return data / (finish * len(self.channels))
 
@@ -106,6 +111,53 @@ class SimulationResult:
     def row_hit_rate(self) -> float:
         """Row-buffer hit rate over all channels."""
         return self.merged_counters().row_hit_rate()
+
+    # -- engine statistics (telemetry taps) -----------------------------------
+
+    @property
+    def row_hits(self) -> int:
+        """Column accesses that hit an open row, over all channels."""
+        return sum(ch.row_hits for ch in self.channels)
+
+    @property
+    def row_misses(self) -> int:
+        """Column accesses that required an ACTIVATE, over all channels."""
+        return sum(ch.row_misses for ch in self.channels)
+
+    @property
+    def bank_conflicts(self) -> int:
+        """Row misses that had to close another open row first."""
+        return sum(ch.bank_conflicts for ch in self.channels)
+
+    @property
+    def queue_stalls(self) -> int:
+        """Accesses delayed by the command-queue depth bound."""
+        return sum(ch.queue_stalls for ch in self.channels)
+
+    @property
+    def power_state_transitions(self) -> int:
+        """CKE transitions (power-down entries + exits), all channels."""
+        return sum(ch.power_state_transitions for ch in self.channels)
+
+    def engine_stats(self) -> Dict[str, int]:
+        """The telemetry-facing engine statistics as one flat dict.
+
+        These are the ``engine.*`` metrics the telemetry registry
+        exports (see docs/architecture.md, Observability).
+        """
+        merged = self.merged_counters()
+        return {
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "bank_conflicts": self.bank_conflicts,
+            "queue_stalls": self.queue_stalls,
+            "power_state_transitions": self.power_state_transitions,
+            "refreshes": merged.refreshes,
+            "activates": merged.activates,
+            "precharges": merged.precharges,
+            "reads": merged.reads,
+            "writes": merged.writes,
+        }
 
     def describe(self) -> str:
         """Compact human-readable summary line."""

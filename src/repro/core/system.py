@@ -16,6 +16,7 @@ the results are bit-identical to the sequential path.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.controller.engine import ChannelResult
@@ -26,6 +27,7 @@ from repro.core.interleave import ChannelInterleaver
 from repro.core.results import SimulationResult
 from repro.errors import AddressError, ConfigurationError
 from repro.parallel import parallel_map, resolve_workers
+from repro.telemetry.session import Telemetry
 from repro.units import clock_period_ns
 
 #: Below this many queued bursts a run stays in-process even when
@@ -53,6 +55,22 @@ def _run_channel_job(
     return Channel(config, index=index).run(runs)
 
 
+def _run_channel_job_timed(
+    job: Tuple[SystemConfig, int, list]
+) -> Tuple[float, ChannelResult]:
+    """Like :func:`_run_channel_job`, but ships the worker-side engine
+    wall-clock back with the result so telemetry can attribute pooled
+    runs to ``system.engine`` vs ``system.pool`` dispatch overhead.
+
+    Only selected when telemetry is live: the extra tuple costs a few
+    bytes per channel on the pickle path and nothing else, and the
+    :class:`ChannelResult` itself is bit-identical.
+    """
+    start = time.perf_counter()
+    result = _run_channel_job(job)
+    return (time.perf_counter() - start, result)
+
+
 class MultiChannelMemorySystem:
     """Simulates the paper's M-channel memory subsystem."""
 
@@ -73,6 +91,7 @@ class MultiChannelMemorySystem:
         wrap_capacity: bool = True,
         command_logs: Optional[List[list]] = None,
         workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> SimulationResult:
         """Simulate a stream of master transactions.
 
@@ -105,49 +124,74 @@ class MultiChannelMemorySystem:
             sequential ones.  Small runs (< ``PARALLEL_MIN_CHUNKS``
             bursts) and audit runs (``command_logs``) always execute
             in-process -- see :mod:`repro.parallel` for the rationale.
+        telemetry:
+            A live :class:`~repro.telemetry.Telemetry` session records
+            the interleave/engine/pool phase wall-clock and the
+            ``system.*`` / ``engine.*`` metrics (see
+            docs/architecture.md, Observability).  ``None`` (the
+            default) keeps the untapped fast path; results are
+            bit-identical either way.
         """
         per_channel: List[list] = [[] for _ in range(self.config.channels)]
         capacity = self.config.total_capacity_bytes
         total_chunks = capacity >> 4
         tck = self._tck_ns
         split_span = self.interleaver.split_span
-        queued_chunks = 0
 
-        for txn in transactions:
-            if txn.end_address > capacity and not wrap_capacity:
-                raise AddressError(
-                    f"transaction [{txn.address:#x}, {txn.end_address:#x}) "
-                    f"exceeds total capacity {capacity:#x}"
-                )
-            # Explicit None test: an arrival of exactly 0.0 ns is a
-            # timestamp, not a missing one (both map to cycle 0, but
-            # truthiness would also swallow a future Optional misuse).
-            # The conversion rounds *up*: an arrival strictly inside
-            # cycle k cannot issue at k -- truncation placed it one
-            # cycle early.
-            if txn.arrival_ns is None:
-                arrival_cycle = 0
-            else:
-                arrival_f = txn.arrival_ns / tck
-                arrival_cycle = int(arrival_f)
-                if arrival_f - arrival_cycle > _ARRIVAL_EPSILON_CYCLES:
-                    arrival_cycle += 1
-            span = txn.chunk_span()
-            op = int(txn.op)
-            first = span.start % total_chunks
-            remaining = len(span)
-            if remaining > total_chunks:
-                raise AddressError(
-                    f"transaction of {txn.size} bytes exceeds the whole "
-                    f"memory capacity {capacity:#x}"
-                )
-            while remaining > 0:
-                take = min(remaining, total_chunks - first)
-                for ch, start, count in split_span(first, first + take - 1):
-                    per_channel[ch].append((op, start, count, arrival_cycle))
-                first = 0
-                remaining -= take
-            queued_chunks += len(span)
+        def split_transactions() -> Tuple[int, int]:
+            """Interleave the master stream; returns (txns, chunks)."""
+            queued_chunks = 0
+            n_txns = 0
+            for txn in transactions:
+                n_txns += 1
+                if txn.end_address > capacity and not wrap_capacity:
+                    raise AddressError(
+                        f"transaction [{txn.address:#x}, {txn.end_address:#x}) "
+                        f"exceeds total capacity {capacity:#x}"
+                    )
+                # Explicit None test: an arrival of exactly 0.0 ns is a
+                # timestamp, not a missing one (both map to cycle 0, but
+                # truthiness would also swallow a future Optional misuse).
+                # The conversion rounds *up*: an arrival strictly inside
+                # cycle k cannot issue at k -- truncation placed it one
+                # cycle early.  Negative arrivals must be rejected here:
+                # int() truncates toward zero, so a negative value would
+                # round the wrong way and silently land at cycle 0/-1.
+                if txn.arrival_ns is None:
+                    arrival_cycle = 0
+                else:
+                    if txn.arrival_ns < 0:
+                        raise ConfigurationError(
+                            f"transaction arrival_ns must be >= 0, got "
+                            f"{txn.arrival_ns!r}"
+                        )
+                    arrival_f = txn.arrival_ns / tck
+                    arrival_cycle = int(arrival_f)
+                    if arrival_f - arrival_cycle > _ARRIVAL_EPSILON_CYCLES:
+                        arrival_cycle += 1
+                span = txn.chunk_span()
+                op = int(txn.op)
+                first = span.start % total_chunks
+                remaining = len(span)
+                if remaining > total_chunks:
+                    raise AddressError(
+                        f"transaction of {txn.size} bytes exceeds the whole "
+                        f"memory capacity {capacity:#x}"
+                    )
+                while remaining > 0:
+                    take = min(remaining, total_chunks - first)
+                    for ch, start, count in split_span(first, first + take - 1):
+                        per_channel[ch].append((op, start, count, arrival_cycle))
+                    first = 0
+                    remaining -= take
+                queued_chunks += len(span)
+            return n_txns, queued_chunks
+
+        if telemetry is None:
+            n_txns, queued_chunks = split_transactions()
+        else:
+            with telemetry.phase("system.interleave"):
+                n_txns, queued_chunks = split_transactions()
 
         if command_logs is not None:
             # Audit path: always in-process.  Per-command logs are
@@ -157,12 +201,20 @@ class MultiChannelMemorySystem:
             # therefore deliberately bypasses the pool.
             command_logs.clear()
             command_logs.extend([] for _ in range(self.config.channels))
-            results = [
-                channel.engine.run(runs, command_log=log)
-                for channel, runs, log in zip(
-                    self.channels, per_channel, command_logs
-                )
-            ]
+
+            def run_audited() -> List[ChannelResult]:
+                return [
+                    channel.engine.run(runs, command_log=log)
+                    for channel, runs, log in zip(
+                        self.channels, per_channel, command_logs
+                    )
+                ]
+
+            if telemetry is None:
+                results = run_audited()
+            else:
+                with telemetry.phase("system.engine"):
+                    results = run_audited()
         else:
             requested = self.config.parallelism if workers is None else workers
             effective = resolve_workers(requested, self.config.channels)
@@ -171,17 +223,68 @@ class MultiChannelMemorySystem:
                     (self.config, i, runs)
                     for i, runs in enumerate(per_channel)
                 ]
-                results = parallel_map(
-                    _run_channel_job, jobs, workers=effective
-                )
+                if telemetry is None:
+                    results = parallel_map(
+                        _run_channel_job, jobs, workers=effective
+                    )
+                else:
+                    # The timed job ships each worker's engine seconds
+                    # back with its result: "system.pool" is the
+                    # dispatch wall-clock (containing the workers) and
+                    # "system.engine" the summed worker-side engine
+                    # time, so pool overhead is readable as the
+                    # difference.
+                    with telemetry.phase("system.pool"):
+                        timed = parallel_map(
+                            _run_channel_job_timed, jobs, workers=effective
+                        )
+                    telemetry.profiler.add(
+                        "system.engine",
+                        sum(seconds for seconds, _ in timed),
+                        calls=len(timed),
+                    )
+                    results = [result for _, result in timed]
             else:
-                results = [
-                    channel.run(runs)
-                    for channel, runs in zip(self.channels, per_channel)
-                ]
-        return SimulationResult(
+                if telemetry is None:
+                    results = [
+                        channel.run(runs)
+                        for channel, runs in zip(self.channels, per_channel)
+                    ]
+                else:
+                    with telemetry.phase("system.engine"):
+                        results = [
+                            channel.run(runs)
+                            for channel, runs in zip(self.channels, per_channel)
+                        ]
+        result = SimulationResult(
             channels=results, freq_mhz=self.config.freq_mhz, scale=scale
         )
+        if telemetry is not None:
+            self._tap_metrics(telemetry, result, n_txns, queued_chunks)
+        return result
+
+    def _tap_metrics(
+        self,
+        telemetry: Telemetry,
+        result: SimulationResult,
+        n_txns: int,
+        queued_chunks: int,
+    ) -> None:
+        """Fold one run's statistics into the telemetry registry.
+
+        Tapped once per *run* (never per burst): the engine collects
+        its per-burst statistics as plain integers regardless, so the
+        registry cost is a handful of counter additions per simulation.
+        """
+        registry = telemetry.registry
+        registry.counter("system.runs").add(1)
+        registry.counter("system.transactions").add(n_txns)
+        registry.counter("system.chunks_queued").add(queued_chunks)
+        for name, value in result.engine_stats().items():
+            registry.counter(f"engine.{name}").add(value)
+        finish_hist = registry.histogram("system.channel_finish_cycles")
+        for channel in result.channels:
+            finish_hist.record(channel.finish_cycle)
 
     def audit(self, command_logs: List[list]) -> List[str]:
         """Protocol-audit per-channel command logs from :meth:`run`.

@@ -1,0 +1,85 @@
+"""Telemetry: metrics, profiling and progress for simulations and sweeps.
+
+The paper's argument rests entirely on reported metrics -- per-frame
+access time (Fig. 3/4), average power (Fig. 5), bus efficiency and
+row-hit behaviour -- so the reproduction carries a first-class
+observability layer instead of computing them blind:
+
+- :class:`MetricsRegistry` (:mod:`repro.telemetry.registry`): named
+  counters, gauges, timers and simple histograms, in the style of
+  DRAMsim3's per-epoch stat dumps and Ramulator's counter registry.
+  A disabled registry hands out shared no-op instruments, so taps are
+  effectively free when telemetry is off.
+- :class:`PhaseProfiler` (:mod:`repro.telemetry.profile`): wall-clock
+  attribution of `simulate_use_case` phases (load build, scaling,
+  transaction generation, interleave split, per-channel engine, pool
+  dispatch, power integration), surfaced as a :class:`ProfileReport`.
+- progress heartbeats (:mod:`repro.telemetry.progress`): pluggable
+  sinks fed by :func:`repro.analysis.sweep.sweep_use_case` with
+  points done/total, failure counts and an ETA, so long Fig. 3/4/5
+  campaigns are no longer silent.
+- structured export (:mod:`repro.telemetry.export`): a documented
+  stable JSON schema (``repro-metrics/1``) written by ``--metrics-out``
+  on every CLI runner, plus :func:`validate_metrics` and a
+  ``python -m repro.telemetry.export`` validator for CI.
+
+The :class:`Telemetry` session object bundles a registry and a
+profiler; every simulation entry point accepts ``telemetry=None`` and
+the disabled path is guaranteed both bit-identical in its results and
+within 2 % of the untapped runtime (``benchmarks/
+bench_telemetry_overhead.py`` guards this).
+"""
+
+from repro.telemetry.export import (
+    METRICS_SCHEMA,
+    metrics_payload,
+    validate_metrics,
+    validate_metrics_file,
+    write_metrics,
+)
+from repro.telemetry.profile import (
+    NULL_PROFILER,
+    PhaseProfiler,
+    PhaseStat,
+    ProfileReport,
+)
+from repro.telemetry.progress import (
+    CallbackProgressSink,
+    NullProgressSink,
+    ProgressEvent,
+    ProgressSink,
+    StreamProgressSink,
+    SweepProgress,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.telemetry.session import Telemetry
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "CallbackProgressSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_PROFILER",
+    "NullProgressSink",
+    "PhaseProfiler",
+    "PhaseStat",
+    "ProfileReport",
+    "ProgressEvent",
+    "ProgressSink",
+    "StreamProgressSink",
+    "SweepProgress",
+    "Telemetry",
+    "Timer",
+    "metrics_payload",
+    "validate_metrics",
+    "validate_metrics_file",
+    "write_metrics",
+]

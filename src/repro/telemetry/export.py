@@ -1,0 +1,238 @@
+"""Structured metrics export: the stable ``repro-metrics/1`` schema.
+
+Every CLI runner accepts ``--metrics-out FILE`` and writes one JSON
+document describing the run.  The schema is *stable*: keys are only
+ever added, never renamed or removed, and the ``schema`` field names
+the version a consumer should validate against.
+
+Schema (version ``repro-metrics/1``)::
+
+    {
+      "schema":   "repro-metrics/1",
+      "command":  "<CLI subcommand or caller-chosen label>",
+      "generated_by": "repro <version>",
+      "counters": {"<name>": <int>, ...},
+      "gauges":   {"<name>": <number>, ...},
+      "timers":   {"<name>": {"seconds": <float>, "calls": <int>}, ...},
+      "histograms": {"<name>": {"count": <int>, "sum": <float>,
+                                "min": <number|null>, "max": <number|null>,
+                                "mean": <float>}, ...},
+      "profile":  {"total_s": <float>,
+                   "phases": [{"name": <str>, "seconds": <float>,
+                               "calls": <int>, "share": <float>}, ...]}
+    }
+
+Conventional metric namespaces (see docs/architecture.md):
+
+- ``system.*``  -- transaction/chunk counts from the memory system
+- ``engine.*``  -- row hits/misses, bank conflicts, queue stalls,
+  power-state transitions aggregated over simulated channels
+- ``sweep.*``   -- points total/completed/resumed/failed, run timer
+- ``sim.*``     -- per-point bookkeeping (points simulated)
+
+:func:`validate_metrics` checks a payload against the schema and
+returns a list of problems (empty = valid); ``python -m
+repro.telemetry.export FILE...`` runs the same validation from CI.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: The schema identifier written into (and expected from) payloads.
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Top-level keys every payload must carry.
+REQUIRED_KEYS = (
+    "schema",
+    "command",
+    "generated_by",
+    "counters",
+    "gauges",
+    "timers",
+    "histograms",
+    "profile",
+)
+
+PathLike = Union[str, Path]
+
+
+def metrics_payload(command: str, telemetry: "Telemetry") -> Dict[str, Any]:
+    """Assemble the export payload for one run.
+
+    ``command`` labels the run (the CLI passes its subcommand);
+    ``telemetry`` supplies the registry snapshot and phase profile.
+    """
+    from repro import __version__
+
+    payload: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "command": command,
+        "generated_by": f"repro {__version__}",
+    }
+    payload.update(telemetry.registry.as_dict())
+    payload["profile"] = telemetry.profiler.report().as_dict()
+    return payload
+
+
+def write_metrics(
+    path: PathLike, command: str, telemetry: "Telemetry"
+) -> Dict[str, Any]:
+    """Write the run's metrics JSON to ``path`` and return the payload."""
+    payload = metrics_payload(command, telemetry)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return payload
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _check_name_map(
+    payload: Dict[str, Any], key: str, problems: List[str], leaf: str
+) -> None:
+    section = payload.get(key)
+    if not isinstance(section, dict):
+        problems.append(f"{key}: expected an object, got {type(section).__name__}")
+        return
+    for name, value in section.items():
+        if not isinstance(name, str) or not name:
+            problems.append(f"{key}: metric names must be non-empty strings")
+            continue
+        if leaf == "number":
+            if not _is_number(value):
+                problems.append(f"{key}.{name}: expected a number, got {value!r}")
+        elif leaf == "timer":
+            if not isinstance(value, dict):
+                problems.append(f"{key}.{name}: expected an object")
+                continue
+            if not _is_number(value.get("seconds")) or value.get("seconds") < 0:
+                problems.append(f"{key}.{name}.seconds: expected a number >= 0")
+            if not isinstance(value.get("calls"), int) or value.get("calls") < 0:
+                problems.append(f"{key}.{name}.calls: expected an int >= 0")
+        elif leaf == "histogram":
+            if not isinstance(value, dict):
+                problems.append(f"{key}.{name}: expected an object")
+                continue
+            if not isinstance(value.get("count"), int) or value.get("count") < 0:
+                problems.append(f"{key}.{name}.count: expected an int >= 0")
+            if not _is_number(value.get("sum")):
+                problems.append(f"{key}.{name}.sum: expected a number")
+            for bound in ("min", "max"):
+                if value.get(bound) is not None and not _is_number(value[bound]):
+                    problems.append(
+                        f"{key}.{name}.{bound}: expected a number or null"
+                    )
+
+
+def validate_metrics(payload: Any) -> List[str]:
+    """Validate a payload against ``repro-metrics/1``.
+
+    Returns a list of human-readable problems; an empty list means the
+    payload is schema-valid.  Never raises on malformed input.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload: expected an object, got {type(payload).__name__}"]
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing required key {key!r}")
+    if payload.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema: expected {METRICS_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key in ("command", "generated_by"):
+        if key in payload and not isinstance(payload[key], str):
+            problems.append(f"{key}: expected a string")
+    if "counters" in payload:
+        _check_name_map(payload, "counters", problems, "number")
+        if isinstance(payload["counters"], dict):
+            for name, value in payload["counters"].items():
+                if _is_number(value) and not isinstance(value, int):
+                    problems.append(f"counters.{name}: expected an integer")
+    if "gauges" in payload:
+        _check_name_map(payload, "gauges", problems, "number")
+    if "timers" in payload:
+        _check_name_map(payload, "timers", problems, "timer")
+    if "histograms" in payload:
+        _check_name_map(payload, "histograms", problems, "histogram")
+    profile = payload.get("profile")
+    if profile is not None:
+        if not isinstance(profile, dict):
+            problems.append("profile: expected an object")
+        else:
+            if not _is_number(profile.get("total_s")) or profile.get("total_s") < 0:
+                problems.append("profile.total_s: expected a number >= 0")
+            phases = profile.get("phases")
+            if not isinstance(phases, list):
+                problems.append("profile.phases: expected a list")
+            else:
+                for i, phase in enumerate(phases):
+                    if not isinstance(phase, dict):
+                        problems.append(f"profile.phases[{i}]: expected an object")
+                        continue
+                    if not isinstance(phase.get("name"), str) or not phase["name"]:
+                        problems.append(
+                            f"profile.phases[{i}].name: expected a non-empty string"
+                        )
+                    if not _is_number(phase.get("seconds")) or phase["seconds"] < 0:
+                        problems.append(
+                            f"profile.phases[{i}].seconds: expected a number >= 0"
+                        )
+                    if not isinstance(phase.get("calls"), int) or phase["calls"] < 0:
+                        problems.append(
+                            f"profile.phases[{i}].calls: expected an int >= 0"
+                        )
+                    share = phase.get("share")
+                    if not _is_number(share) or not 0.0 <= share <= 1.0:
+                        problems.append(
+                            f"profile.phases[{i}].share: expected a number in [0, 1]"
+                        )
+    return problems
+
+
+def validate_metrics_file(path: PathLike) -> List[str]:
+    """Validate one metrics JSON file (reads + parses + validates)."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+    return [f"{path}: {p}" for p in validate_metrics(payload)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validator CLI: ``python -m repro.telemetry.export FILE...``.
+
+    Exits 0 when every file is schema-valid, 1 otherwise; problems are
+    printed one per line.  This is the "small validator script" the CI
+    telemetry smoke job runs over ``--metrics-out`` artifacts.
+    """
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.telemetry.export METRICS_JSON...")
+        return 2
+    failed = False
+    for path in args:
+        problems = validate_metrics_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(problem)
+        else:
+            print(f"{path}: OK ({METRICS_SCHEMA})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

@@ -1,0 +1,230 @@
+"""The metrics registry: counters, gauges, timers and histograms.
+
+Instruments are created lazily by name (``registry.counter("x")``)
+and live for the registry's lifetime, so hot code obtains its
+instrument once and updates it with plain attribute arithmetic -- the
+registry dictionary is never touched per event.
+
+A *disabled* registry hands out shared no-op instruments instead: a
+tap through a disabled registry costs one no-op method call, and the
+simulator's hot loops avoid even that by tapping the registry once
+per *run* rather than once per burst (the per-burst statistics are
+plain integers the engine collects anyway).  The
+``benchmarks/bench_telemetry_overhead.py`` guard pins the disabled
+path within 2 % of the untapped runtime.
+
+Metric names are dotted paths (``engine.row_hits``,
+``sweep.points_completed``); the conventional namespaces are
+documented in docs/architecture.md (Observability).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (add({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Timer:
+    """Accumulated wall-clock over any number of timed sections."""
+
+    __slots__ = ("name", "seconds", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.calls = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one timed section of ``seconds`` wall-clock."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"timer {self.name!r} cannot record negative time ({seconds})"
+            )
+        self.seconds += seconds
+        self.calls += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager timing the enclosed block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(time.perf_counter() - start)
+
+
+class Histogram:
+    """Streaming summary of a value distribution.
+
+    Deliberately simple -- count, sum, min, max -- which is enough for
+    the "how skewed were the per-point runtimes" questions the sweep
+    campaigns ask; full bucketed histograms can be layered on later
+    without changing the export schema's shape.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by disabled registries."""
+
+    def add(self, amount: int = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullTimer(Timer):
+    def record(self, seconds: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator[None]:  # noqa: D102 - no-op
+        yield
+
+
+class _NullHistogram(Histogram):
+    def record(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+_NULL_COUNTER = _NullCounter("<disabled>")
+_NULL_GAUGE = _NullGauge("<disabled>")
+_NULL_TIMER = _NullTimer("<disabled>")
+_NULL_HISTOGRAM = _NullHistogram("<disabled>")
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily and exported as one dict.
+
+    ``enabled=False`` builds a registry whose instruments are shared
+    no-ops and whose export is empty; it is safe (and cheap) to thread
+    through the whole stack unconditionally.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        """The timer registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_TIMER
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot every instrument in the export schema's shape."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: {"seconds": t.seconds, "calls": t.calls}
+                for name, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -325,7 +325,7 @@ class TestInputHandling:
         r = make_engine().run([])
         assert r.finish_cycle == 0
         assert r.total_chunks == 0
-        assert r.bus_efficiency == 1.0
+        assert r.bus_efficiency == 0.0
 
     def test_rejects_invalid_frequency(self):
         with pytest.raises(ConfigurationError):

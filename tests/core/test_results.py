@@ -28,8 +28,10 @@ class TestChannelResult:
         assert make_channel(finish=1000, data=800).bus_efficiency == pytest.approx(0.8)
 
     def test_bus_efficiency_empty(self):
+        # Regression: an empty run moved no data and must report 0.0
+        # efficiency, not a vacuous 1.0.
         empty = make_channel(finish=0, data=0, reads=0)
-        assert empty.bus_efficiency == 1.0
+        assert empty.bus_efficiency == 0.0
 
     def test_effective_bandwidth(self):
         ch = make_channel(finish=400, reads=400)  # 6400 B in 1000 ns

@@ -136,6 +136,22 @@ class TestArrivalConversion:
         )
         assert zero.channels == missing.channels
 
+    def test_negative_arrival_rejected(self):
+        # Regression: int() truncates toward zero, so a negative
+        # arrival silently rounded the *wrong* way (e.g. -2.4 ns ->
+        # cycle -1 -> clamped semantics nobody asked for).  It must be
+        # rejected loudly instead of accepted as roughly-zero.
+        system = make_system(channels=1)
+        with pytest.raises(ConfigurationError, match="arrival_ns"):
+            system.run([MasterTransaction(Op.READ, 0, 16, arrival_ns=-2.4)])
+
+    def test_slightly_negative_arrival_rejected(self):
+        # Even a sub-cycle negative value is a caller bug, not noise:
+        # the load models never produce one.
+        system = make_system(channels=1)
+        with pytest.raises(ConfigurationError, match="arrival_ns"):
+            system.run([MasterTransaction(Op.READ, 0, 16, arrival_ns=-0.1)])
+
 
 class TestDescribe:
     def test_describe_delegates_to_config(self):

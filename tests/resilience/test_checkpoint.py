@@ -83,6 +83,54 @@ class TestStore:
             store.record("k", {"index": 0}, lambda: None)
 
 
+class TestLen:
+    """``len(store)`` counts structurally valid lines *without*
+    decoding their payloads -- regression for the resume banner that
+    decompressed and unpickled every point just to print a count."""
+
+    def test_counts_large_checkpoint_without_decoding(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.resilience.checkpoint as ckpt_mod
+
+        n_points = 500
+        store = SweepCheckpoint(tmp_path / "big.ckpt")
+        for index in range(n_points):
+            store.record(
+                store.key_for(("job", index)),
+                {"index": index},
+                {"payload": list(range(50))},
+            )
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("__len__ must not decode payloads")
+
+        # Any attempt to touch a payload blows up the count.
+        monkeypatch.setattr(ckpt_mod.pickle, "loads", forbidden)
+        monkeypatch.setattr(ckpt_mod.zlib, "decompress", forbidden)
+        monkeypatch.setattr(ckpt_mod.base64, "b64decode", forbidden)
+        assert len(store) == n_points
+
+    def test_skips_structurally_invalid_lines(self, tmp_path):
+        path = tmp_path / "mixed.ckpt"
+        store = SweepCheckpoint(path)
+        store.record(store.key_for("good"), {}, 42)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "key": "dead", "da\n')  # truncated
+            handle.write("\n")  # blank
+            handle.write(json.dumps({"v": 1, "key": "no-data"}) + "\n")
+            handle.write(
+                json.dumps({"v": 99, "key": "k", "data": "x"}) + "\n"
+            )  # foreign version
+        assert len(store) == 1
+
+    def test_matches_load_on_clean_files(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "clean.ckpt")
+        for index in range(7):
+            store.record(store.key_for(index), {"index": index}, index)
+        assert len(store) == len(store.load()) == 7
+
+
 class TestSweepResume:
     def test_checkpoint_records_points_as_they_finish(self, tmp_path):
         path = tmp_path / "sweep.ckpt"

@@ -1,0 +1,102 @@
+"""Tests for the metrics export schema, writer and validator."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    METRICS_SCHEMA,
+    REQUIRED_KEYS,
+    main as validator_main,
+    metrics_payload,
+    validate_metrics,
+    validate_metrics_file,
+    write_metrics,
+)
+from repro.telemetry.session import Telemetry
+
+
+def make_session():
+    telemetry = Telemetry.enabled()
+    telemetry.counter("engine.row_hits").add(7)
+    telemetry.gauge("queue.depth").set(3.5)
+    telemetry.timer("sweep.run").record(1.25)
+    telemetry.histogram("system.channel_finish_cycles").record(100.0)
+    with telemetry.phase("system.engine"):
+        pass
+    return telemetry
+
+
+class TestPayload:
+    def test_payload_carries_every_documented_key(self):
+        payload = metrics_payload("fig3", make_session())
+        assert set(REQUIRED_KEYS) <= set(payload)
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["command"] == "fig3"
+        assert payload["generated_by"].startswith("repro ")
+        assert payload["counters"]["engine.row_hits"] == 7
+        assert payload["timers"]["sweep.run"] == {"seconds": 1.25, "calls": 1}
+        assert payload["profile"]["phases"][0]["name"] == "system.engine"
+
+    def test_payload_is_schema_valid(self):
+        assert validate_metrics(metrics_payload("fig3", make_session())) == []
+
+    def test_disabled_session_payload_is_valid_and_empty(self):
+        payload = metrics_payload("fig3", Telemetry.disabled())
+        assert validate_metrics(payload) == []
+        assert payload["counters"] == {}
+        assert payload["profile"]["phases"] == []
+
+    def test_write_metrics_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        payload = write_metrics(path, "fig4", make_session())
+        assert json.loads(path.read_text(encoding="utf-8")) == payload
+        assert validate_metrics_file(path) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_metrics([1, 2, 3])
+        assert validate_metrics(None)
+
+    def test_reports_missing_keys(self):
+        problems = validate_metrics({"schema": METRICS_SCHEMA})
+        missing = [p for p in problems if p.startswith("missing required key")]
+        assert len(missing) == len(REQUIRED_KEYS) - 1
+
+    def test_rejects_wrong_schema_string(self):
+        payload = metrics_payload("x", Telemetry.disabled())
+        payload["schema"] = "repro-metrics/99"
+        assert any("schema" in p for p in validate_metrics(payload))
+
+    def test_rejects_non_integer_counter(self):
+        payload = metrics_payload("x", Telemetry.disabled())
+        payload["counters"]["engine.row_hits"] = 1.5
+        assert any("expected an integer" in p for p in validate_metrics(payload))
+
+    def test_rejects_negative_timer(self):
+        payload = metrics_payload("x", Telemetry.disabled())
+        payload["timers"]["t"] = {"seconds": -1.0, "calls": 1}
+        assert any("t.seconds" in p for p in validate_metrics(payload))
+
+    def test_rejects_out_of_range_phase_share(self):
+        payload = metrics_payload("x", Telemetry.disabled())
+        payload["profile"]["phases"] = [
+            {"name": "engine", "seconds": 1.0, "calls": 1, "share": 1.5}
+        ]
+        assert any("share" in p for p in validate_metrics(payload))
+
+    def test_file_validator_flags_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert validate_metrics_file(path)
+
+    def test_cli_ok_and_failure_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        write_metrics(good, "fig3", Telemetry.disabled())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert validator_main([str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert validator_main([str(good), str(bad)]) == 1
+        assert validator_main([]) == 2

@@ -1,0 +1,113 @@
+"""Tests for phase-scoped profiling and the profile report."""
+
+import pytest
+
+from repro.telemetry.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    ProfileReport,
+    PhaseStat,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by the scripted steps."""
+
+    def __init__(self, *readings):
+        self._readings = list(readings)
+
+    def __call__(self):
+        return self._readings.pop(0)
+
+
+class TestPhaseProfiler:
+    def test_phase_attributes_clock_delta(self):
+        profiler = PhaseProfiler(clock=FakeClock(10.0, 12.5))
+        with profiler.phase("engine"):
+            pass
+        report = profiler.report()
+        assert report.seconds("engine") == pytest.approx(2.5)
+        assert report.phases[0].calls == 1
+
+    def test_phases_accumulate_across_entries(self):
+        profiler = PhaseProfiler(clock=FakeClock(0.0, 1.0, 5.0, 7.0))
+        with profiler.phase("engine"):
+            pass
+        with profiler.phase("engine"):
+            pass
+        report = profiler.report()
+        assert report.seconds("engine") == pytest.approx(3.0)
+        assert report.phases[0].calls == 2
+
+    def test_phase_records_even_when_body_raises(self):
+        profiler = PhaseProfiler(clock=FakeClock(0.0, 4.0))
+        with pytest.raises(RuntimeError):
+            with profiler.phase("engine"):
+                raise RuntimeError("boom")
+        assert profiler.report().seconds("engine") == pytest.approx(4.0)
+
+    def test_add_folds_external_measurements(self):
+        profiler = PhaseProfiler()
+        profiler.add("pool", 1.5, calls=4)
+        profiler.add("pool", 0.5, calls=4)
+        report = profiler.report()
+        assert report.seconds("pool") == pytest.approx(2.0)
+        assert report.phases[0].calls == 8
+
+    def test_add_clamps_negative_noise_to_zero(self):
+        profiler = PhaseProfiler()
+        profiler.add("pool", -0.001)
+        assert profiler.report().seconds("pool") == 0.0
+
+
+class TestNullProfiler:
+    def test_records_nothing(self):
+        profiler = NullProfiler()
+        with profiler.phase("engine"):
+            pass
+        profiler.add("pool", 3.0)
+        assert profiler.report().phases == ()
+
+    def test_shared_instance_reuses_one_context_manager(self):
+        assert NULL_PROFILER.phase("a") is NULL_PROFILER.phase("b")
+
+
+class TestProfileReport:
+    def make_report(self):
+        return ProfileReport(
+            phases=(
+                PhaseStat("load", 1.0, 3),
+                PhaseStat("engine", 3.0, 3),
+            )
+        )
+
+    def test_total_seconds_share(self):
+        report = self.make_report()
+        assert report.total_s == pytest.approx(4.0)
+        assert report.seconds("engine") == pytest.approx(3.0)
+        assert report.seconds("missing") == 0.0
+        assert report.share("engine") == pytest.approx(0.75)
+
+    def test_as_dict_matches_export_schema(self):
+        d = self.make_report().as_dict()
+        assert d["total_s"] == pytest.approx(4.0)
+        assert {p["name"] for p in d["phases"]} == {"load", "engine"}
+        for p in d["phases"]:
+            assert set(p) == {"name", "seconds", "calls", "share"}
+            assert 0.0 <= p["share"] <= 1.0
+
+    def test_format_slowest_first_with_total_row(self):
+        text = self.make_report().format()
+        lines = text.splitlines()
+        assert lines[0].startswith("phase")
+        assert lines[2].startswith("engine")  # slowest first
+        assert lines[-1].startswith("total")
+
+    def test_format_empty(self):
+        assert "no phases" in ProfileReport(phases=()).format()
+
+    def test_empty_report_share_is_zero(self):
+        empty = ProfileReport(phases=())
+        assert empty.total_s == 0.0
+        assert empty.share("anything") == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter("x").add(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.set(3.0)
+        g.set(7.5)
+        assert registry.as_dict()["gauges"]["depth"] == 7.5
+
+
+class TestTimer:
+    def test_record_accumulates_seconds_and_calls(self):
+        t = Timer("t")
+        t.record(0.5)
+        t.record(0.25)
+        assert t.seconds == pytest.approx(0.75)
+        assert t.calls == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Timer("t").record(-0.1)
+
+    def test_time_context_manager_records_one_call(self):
+        t = Timer("t")
+        with t.time():
+            pass
+        assert t.calls == 1
+        assert t.seconds >= 0.0
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        h = Histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_lazy_and_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timer("t") is registry.timer("t")
+
+    def test_as_dict_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second").add(2)
+        registry.counter("a.first").add(1)
+        registry.timer("t").record(0.5)
+        registry.histogram("h").record(4.0)
+        snapshot = registry.as_dict()
+        assert list(snapshot["counters"]) == ["a.first", "b.second"]
+        assert snapshot["timers"]["t"] == {"seconds": 0.5, "calls": 1}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["mean"] == pytest.approx(4.0)
+
+    def test_disabled_registry_hands_out_shared_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        # Shared singletons: no per-name allocation on the disabled path.
+        assert registry.counter("a") is registry.counter("b")
+        registry.counter("a").add(10)
+        registry.gauge("g").set(1.0)
+        registry.timer("t").record(2.0)
+        registry.histogram("h").record(3.0)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["timers"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_disabled_null_counter_never_mutates(self):
+        registry = MetricsRegistry(enabled=False)
+        null = registry.counter("x")
+        null.add(5)
+        assert null.value == 0

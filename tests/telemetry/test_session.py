@@ -1,0 +1,40 @@
+"""Tests for the Telemetry session object."""
+
+from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.session import Telemetry
+
+
+class TestTelemetry:
+    def test_enabled_session_collects(self):
+        telemetry = Telemetry.enabled()
+        assert telemetry.is_enabled
+        telemetry.counter("a").add(2)
+        with telemetry.phase("p"):
+            pass
+        assert telemetry.registry.as_dict()["counters"]["a"] == 2
+        assert telemetry.profile_report().seconds("p") >= 0.0
+        assert [s.name for s in telemetry.profile_report().phases] == ["p"]
+
+    def test_disabled_session_records_nothing(self):
+        telemetry = Telemetry.disabled()
+        assert not telemetry.is_enabled
+        telemetry.counter("a").add(2)
+        telemetry.gauge("g").set(1.0)
+        telemetry.timer("t").record(1.0)
+        telemetry.histogram("h").record(1.0)
+        with telemetry.phase("p"):
+            pass
+        assert telemetry.registry.as_dict()["counters"] == {}
+        assert telemetry.profile_report().phases == ()
+        assert telemetry.profiler is NULL_PROFILER
+
+    def test_default_construction_is_enabled(self):
+        assert Telemetry().is_enabled
+
+    def test_custom_parts_are_kept(self):
+        registry = MetricsRegistry()
+        profiler = PhaseProfiler()
+        telemetry = Telemetry(registry, profiler)
+        assert telemetry.registry is registry
+        assert telemetry.profiler is profiler

@@ -146,3 +146,62 @@ class TestResilienceFlags:
     def test_check_invariants_fig3(self, capsys):
         assert main(["--budget", "2000", "--check-invariants", "fig3"]) == 0
         assert "Fig. 3" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_metrics_out_writes_schema_valid_json(
+        self, tmp_path, capsys, fast_args
+    ):
+        import json
+
+        from repro.telemetry import validate_metrics
+
+        path = tmp_path / "metrics.json"
+        assert main(fast_args + ["--metrics-out", str(path), "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "wrote metrics" in out
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_metrics(payload) == []
+        assert payload["command"] == "fig3"
+        assert payload["counters"]["sweep.points_total"] > 0
+        assert payload["counters"]["engine.reads"] > 0
+
+    def test_metrics_out_artifact_identical_to_untapped_run(
+        self, tmp_path, capsys, fast_args
+    ):
+        assert main(fast_args + ["fig3"]) == 0
+        plain = capsys.readouterr().out
+        path = tmp_path / "metrics.json"
+        assert main(fast_args + ["--metrics-out", str(path), "fig3"]) == 0
+        tapped = capsys.readouterr().out
+        assert tapped.startswith(plain.rstrip("\n"))
+
+    def test_progress_heartbeats_on_stderr(self, capsys, fast_args):
+        assert main(fast_args + ["--progress", "fig3"]) == 0
+        err = capsys.readouterr().err
+        assert "sweep" in err
+        assert "done in" in err
+
+    def test_profile_subcommand(self, capsys, fast_args):
+        assert main(fast_args + ["profile", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase profile: fig3" in out
+        assert "system.engine" in out
+        assert "engine.row_hits" in out
+
+    def test_profile_with_metrics_out(self, tmp_path, capsys, fast_args):
+        from repro.telemetry import validate_metrics_file
+
+        path = tmp_path / "profile.json"
+        assert (
+            main(fast_args + ["--metrics-out", str(path), "profile", "fig4"])
+            == 0
+        )
+        assert validate_metrics_file(path) == []
+
+    def test_profile_requires_figure(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+        with pytest.raises(SystemExit):
+            main(["profile", "table1"])
