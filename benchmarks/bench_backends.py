@@ -1,0 +1,100 @@
+"""Backend speedup and parity on the Fig. 3 frequency sweep.
+
+Not a paper artifact -- this times the pluggable simulation backends
+(:mod:`repro.backends`) against each other on the paper's Fig. 3 axis
+(720p30 frame, single channel, 200-533 MHz) and pins their contracts:
+
+- ``fast`` (exact run-length batching) is >= 3x faster than
+  ``reference`` end to end while returning *identical* command counts
+  and access times within 1 % (in fact bit-identical -- the parity
+  suite in tests/backends/ pins the stronger property);
+- ``analytic`` (closed form) lands within its documented 15 %
+  access-time tolerance at a fraction of the cost.
+
+The speedup bound binds everywhere: it is algorithmic (fewer loop
+iterations), not parallelism, so no CPU-count skip is needed.
+"""
+
+import time
+
+from benchmarks.conftest import show
+from repro.core.config import PAPER_FREQUENCIES_MHZ, SystemConfig
+from repro.core.system import MultiChannelMemorySystem
+from repro.load.model import VideoRecordingLoadModel
+from repro.load.scaling import choose_scale
+from repro.usecase.levels import level_by_name
+from repro.usecase.pipeline import VideoRecordingUseCase
+
+#: The Fig. 3 workload: one 720p30 frame on a single channel.
+LEVEL = level_by_name("3.1")
+
+#: Documented analytic access-time tolerance (docs/architecture.md).
+ANALYTIC_TOLERANCE = 0.15
+
+
+def _frame_transactions(budget):
+    use_case = VideoRecordingUseCase(LEVEL)
+    load = VideoRecordingLoadModel(use_case)
+    scale = choose_scale(use_case.total_bytes_per_frame(), budget)
+    return load.generate_frame(scale=scale), scale
+
+
+def _sweep(txns, scale, backend):
+    """Run the Fig. 3 frequency axis under ``backend``; return
+    (elapsed seconds, results in frequency order)."""
+    results = []
+    t0 = time.perf_counter()
+    for freq in PAPER_FREQUENCIES_MHZ:
+        config = SystemConfig(channels=1, freq_mhz=freq, backend=backend)
+        results.append(MultiChannelMemorySystem(config).run(txns, scale=scale))
+    return time.perf_counter() - t0, results
+
+
+def test_fast_backend_speedup_and_parity(budget):
+    """fast vs reference: >= 3x on the sweep, identical counts, <1 % dev."""
+    txns, scale = _frame_transactions(budget)
+    _sweep(txns, scale, "reference")  # warm caches before timing
+    t_ref, ref = _sweep(txns, scale, "reference")
+    t_fast, fast = _sweep(txns, scale, "fast")
+
+    worst_dev = 0.0
+    for r, f in zip(ref, fast):
+        assert f.merged_counters().as_dict() == r.merged_counters().as_dict()
+        dev = abs(f.access_time_ms - r.access_time_ms) / r.access_time_ms
+        worst_dev = max(worst_dev, dev)
+    assert worst_dev < 0.01, f"fast deviates {worst_dev:.2%} from reference"
+
+    speedup = t_ref / t_fast if t_fast > 0 else float("inf")
+    show(
+        "fast backend on the Fig. 3 sweep",
+        f"reference {t_ref * 1e3:.0f} ms, fast {t_fast * 1e3:.0f} ms: "
+        f"{speedup:.2f}x, worst access-time deviation {worst_dev:.3%}",
+    )
+    assert speedup >= 3.0, (
+        f"expected >= 3x over the reference engine, measured {speedup:.2f}x"
+    )
+
+
+def test_analytic_backend_tolerance(budget):
+    """analytic vs reference: within the documented 15 % tolerance."""
+    txns, scale = _frame_transactions(budget)
+    t_ref, ref = _sweep(txns, scale, "reference")
+    t_ana, ana = _sweep(txns, scale, "analytic")
+
+    worst_dev = 0.0
+    for r, a in zip(ref, ana):
+        counters_r, counters_a = r.merged_counters(), a.merged_counters()
+        assert counters_a.reads == counters_r.reads
+        assert counters_a.writes == counters_r.writes
+        dev = abs(a.access_time_ms - r.access_time_ms) / r.access_time_ms
+        worst_dev = max(worst_dev, dev)
+    assert worst_dev < ANALYTIC_TOLERANCE, (
+        f"analytic deviates {worst_dev:.2%}, documented tolerance is "
+        f"{ANALYTIC_TOLERANCE:.0%}"
+    )
+
+    show(
+        "analytic backend on the Fig. 3 sweep",
+        f"reference {t_ref * 1e3:.0f} ms, analytic {t_ana * 1e3:.0f} ms "
+        f"({t_ref / max(t_ana, 1e-9):.0f}x), worst deviation {worst_dev:.2%}",
+    )

@@ -22,24 +22,19 @@ Quickstart::
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
+
+The heavy ``repro.analysis`` / ``repro.telemetry`` surfaces load
+lazily (PEP 562): ``import repro`` pays for the simulation core only,
+and e.g. ``repro.analysis.charts`` is imported the first time an
+analysis name is actually touched.
 """
 
-from repro.analysis import (
-    RealTimeVerdict,
-    compare_energy_strategies,
-    conclusions_summary,
-    find_minimum_power_configuration,
-    minimum_channels,
-    realtime_verdict,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_table1,
-    run_table2,
-    run_xdr_comparison,
-    simulate_use_case,
-    stage_breakdown,
-    sweep_use_case,
+from repro.backends import (
+    ChannelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
 )
 from repro.controller import (
     AddressMultiplexing,
@@ -85,18 +80,6 @@ from repro.resilience import (
     SweepCheckpoint,
     SweepReport,
 )
-from repro.telemetry import (
-    CallbackProgressSink,
-    MetricsRegistry,
-    PhaseProfiler,
-    ProfileReport,
-    ProgressEvent,
-    ProgressSink,
-    StreamProgressSink,
-    Telemetry,
-    validate_metrics,
-    write_metrics,
-)
 from repro.usecase import (
     FORMAT_1080P,
     FORMAT_2160P,
@@ -111,8 +94,62 @@ from repro.usecase import (
 
 __version__ = "1.0.0"
 
-__all__ = [
+#: Names resolved lazily (PEP 562): attribute -> providing module.
+#: ``import repro`` must stay cheap -- in particular it must NOT pull
+#: in ``repro.analysis`` (and through it the chart/export machinery);
+#: ``tests/test_import_cost.py`` pins that.  The telemetry surface is
+#: listed for the same reason, although the simulation core's optional
+#: telemetry taps already import ``repro.telemetry.session``.
+_LAZY_ATTRS = {
     # analysis
+    "RealTimeVerdict": "repro.analysis",
+    "realtime_verdict": "repro.analysis",
+    "compare_energy_strategies": "repro.analysis",
+    "conclusions_summary": "repro.analysis",
+    "find_minimum_power_configuration": "repro.analysis",
+    "minimum_channels": "repro.analysis",
+    "stage_breakdown": "repro.analysis",
+    "run_fig3": "repro.analysis",
+    "run_fig4": "repro.analysis",
+    "run_fig5": "repro.analysis",
+    "run_table1": "repro.analysis",
+    "run_table2": "repro.analysis",
+    "run_xdr_comparison": "repro.analysis",
+    "simulate_use_case": "repro.analysis",
+    "sweep_use_case": "repro.analysis",
+    # telemetry
+    "CallbackProgressSink": "repro.telemetry",
+    "MetricsRegistry": "repro.telemetry",
+    "PhaseProfiler": "repro.telemetry",
+    "ProfileReport": "repro.telemetry",
+    "ProgressEvent": "repro.telemetry",
+    "ProgressSink": "repro.telemetry",
+    "StreamProgressSink": "repro.telemetry",
+    "Telemetry": "repro.telemetry",
+    "validate_metrics": "repro.telemetry",
+    "write_metrics": "repro.telemetry",
+}
+
+
+def __getattr__(name: str):
+    """Resolve a lazily exported name (PEP 562) and cache it."""
+    module_name = _LAZY_ATTRS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    """Advertise lazy names alongside the eagerly imported ones."""
+    return sorted(set(globals()) | set(_LAZY_ATTRS))
+
+
+__all__ = [
+    # analysis (lazy)
     "RealTimeVerdict",
     "realtime_verdict",
     "compare_energy_strategies",
@@ -128,6 +165,12 @@ __all__ = [
     "run_xdr_comparison",
     "simulate_use_case",
     "sweep_use_case",
+    # backends
+    "ChannelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
     # controller
     "AddressMultiplexing",
     "ChannelRun",
@@ -167,7 +210,7 @@ __all__ = [
     "RetryPolicy",
     "SweepCheckpoint",
     "SweepReport",
-    # telemetry
+    # telemetry (lazy)
     "CallbackProgressSink",
     "MetricsRegistry",
     "PhaseProfiler",

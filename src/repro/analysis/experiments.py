@@ -161,15 +161,19 @@ def run_fig3(
     strict: bool = True,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressSink] = None,
+    backend: Optional[str] = None,
+    checkpoint_force: bool = False,
 ) -> Fig3Result:
     """Regenerate Fig. 3: sweep the interface clock for the least
     demanding HD level (3.1: 720p at 30 fps) over 1-8 channels.
 
     ``workers`` distributes the (frequency, channel-count) points over
     worker processes (0 = one per CPU); results are identical.
-    ``checkpoint`` resumes an interrupted sweep from a JSON-lines
-    file; ``strict=False`` renders failed points as ERR cells instead
-    of raising."""
+    ``backend`` selects the simulation backend for every point (see
+    :mod:`repro.backends`).  ``checkpoint`` resumes an interrupted
+    sweep from a JSON-lines file (``checkpoint_force`` permits mixing
+    backends in one file); ``strict=False`` renders failed points as
+    ERR cells instead of raising."""
     level = level_by_name("3.1")
     base = base_config if base_config is not None else SystemConfig()
     kwargs = {} if chunk_budget is None else {"chunk_budget": chunk_budget}
@@ -187,6 +191,8 @@ def run_fig3(
         strict=strict,
         telemetry=telemetry,
         progress=progress,
+        backend=backend,
+        checkpoint_force=checkpoint_force,
         **kwargs,
     )
     access: Dict[float, Dict[int, float]] = {}
@@ -271,13 +277,17 @@ def run_fig4(
     strict: bool = True,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressSink] = None,
+    backend: Optional[str] = None,
+    checkpoint_force: bool = False,
 ) -> Fig4Result:
     """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock.
 
     ``workers`` distributes the (level, channel-count) points over
     worker processes (0 = one per CPU); results are identical.
+    ``backend`` selects the simulation backend for every point.
     ``checkpoint`` resumes an interrupted sweep from a JSON-lines
-    file; ``strict=False`` renders failed points as ERR cells instead
+    file (``checkpoint_force`` permits mixing backends in one file);
+    ``strict=False`` renders failed points as ERR cells instead
     of raising."""
     base = (base_config if base_config is not None else SystemConfig()).with_frequency(
         freq_mhz
@@ -292,6 +302,8 @@ def run_fig4(
         strict=strict,
         telemetry=telemetry,
         progress=progress,
+        backend=backend,
+        checkpoint_force=checkpoint_force,
         **kwargs,
     )
     points: Dict[str, Dict[int, SweepPoint]] = {}
@@ -387,6 +399,8 @@ def run_fig5(
     strict: bool = True,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressSink] = None,
+    backend: Optional[str] = None,
+    checkpoint_force: bool = False,
 ) -> Fig5Result:
     """Regenerate Fig. 5.  Shares Fig. 4's sweep (the paper derives
     both from the same simulations) -- including its checkpoint file,
@@ -404,6 +418,8 @@ def run_fig5(
             strict=strict,
             telemetry=telemetry,
             progress=progress,
+            backend=backend,
+            checkpoint_force=checkpoint_force,
         )
     )
 
@@ -462,6 +478,8 @@ def run_xdr_comparison(
     strict: bool = True,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressSink] = None,
+    backend: Optional[str] = None,
+    checkpoint_force: bool = False,
 ) -> XdrComparisonResult:
     """Compare the 8-channel configuration's power against the XDR
     reference across the encoding formats (Section IV).
@@ -480,6 +498,8 @@ def run_xdr_comparison(
             strict=strict,
             telemetry=telemetry,
             progress=progress,
+            backend=backend,
+            checkpoint_force=checkpoint_force,
         )
     config = SystemConfig(channels=channels, freq_mhz=freq_mhz)
     per_level: Dict[str, Tuple[float, float]] = {}

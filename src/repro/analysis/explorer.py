@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.realtime import PAPER_MARGIN, RealTimeVerdict
 from repro.analysis.sweep import SweepPoint, simulate_use_case, sweep_use_case
+from repro.backends.registry import default_backend_name
 from repro.core.config import (
     PAPER_CHANNEL_COUNTS,
     PAPER_FREQUENCIES_MHZ,
@@ -47,6 +48,7 @@ def minimum_channels(
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     workers: Optional[int] = None,
     strict: bool = True,
+    backend: Optional[str] = None,
 ) -> Optional[int]:
     """Smallest channel count meeting the level's real-time target.
 
@@ -58,16 +60,22 @@ def minimum_channels(
     concurrently and then scans for the smallest feasible one; the
     sequential default stops at the first success.  Both return the
     same answer -- every point is an independent simulation.
+    ``backend`` selects the simulation backend for every point.
 
     ``strict=False`` degrades gracefully: a channel count whose
     simulation failed is skipped (treated as not demonstrably
     feasible) instead of aborting the exploration.
     """
     counts = sorted(channel_counts)
+
+    def config_for(m: int) -> SystemConfig:
+        config = SystemConfig(channels=m, freq_mhz=freq_mhz)
+        return config if backend is None else config.with_backend(backend)
+
     if not strict or resolve_workers(workers, len(counts)) > 1:
         points = sweep_use_case(
             [level],
-            [SystemConfig(channels=m, freq_mhz=freq_mhz) for m in counts],
+            [config_for(m) for m in counts],
             chunk_budget=chunk_budget,
             workers=workers,
             strict=strict,
@@ -76,7 +84,7 @@ def minimum_channels(
         points = (
             simulate_use_case(
                 level,
-                SystemConfig(channels=m, freq_mhz=freq_mhz),
+                config_for(m),
                 chunk_budget=chunk_budget,
             )
             for m in counts
@@ -97,6 +105,9 @@ def find_minimum_power_configuration(
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     workers: Optional[int] = None,
     strict: bool = True,
+    backend: Optional[str] = None,
+    prescreen_backend: Optional[str] = None,
+    prescreen_slack: float = 0.25,
 ) -> Optional[SweepPoint]:
     """Cheapest (by average power) PASS configuration for ``level``.
 
@@ -106,12 +117,45 @@ def find_minimum_power_configuration(
     processes without changing the answer.  ``strict=False`` skips
     failed grid points instead of aborting, answering over the
     surviving portion of the grid.
+
+    ``backend`` selects the simulation backend scoring the grid.
+    ``prescreen_backend`` enables two-phase exploration -- the
+    "screen with analytic, confirm with reference" recipe
+    (docs/cookbook.md): the whole grid is first swept under the
+    (cheap) pre-screen backend, configurations whose screened access
+    time misses the real-time requirement by more than
+    ``prescreen_slack`` (a fractional safety margin absorbing the
+    screen's tolerance) are discarded, and only the survivors are
+    re-simulated under ``backend`` for the authoritative answer.  If
+    the screen eliminates everything, the full grid is refined anyway
+    rather than trusting a low-fidelity "infeasible".
     """
     configs = [
         SystemConfig(channels=channels, freq_mhz=freq)
         for freq in frequencies_mhz
         for channels in channel_counts
     ]
+    if backend is not None:
+        configs = [config.with_backend(backend) for config in configs]
+    if prescreen_backend is not None:
+        screened = sweep_use_case(
+            [level],
+            configs,
+            chunk_budget=chunk_budget,
+            workers=workers,
+            strict=strict,
+            backend=prescreen_backend,
+        )
+        limit_ms = level.frame_period_ms * (1.0 + prescreen_slack)
+        survivors = [
+            point.config.with_backend(
+                backend if backend is not None else default_backend_name()
+            )
+            for point in screened
+            if point.access_time_ms <= limit_ms
+        ]
+        if survivors:
+            configs = survivors
     points = sweep_use_case(
         [level], configs, chunk_budget=chunk_budget, workers=workers,
         strict=strict,
@@ -203,6 +247,7 @@ def conclusions_summary(
     frequencies_mhz: float = 400.0,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Optional[int]]:
     """The paper's Section V summary as data: minimum channels per
     level at 400 MHz."""
@@ -214,6 +259,7 @@ def conclusions_summary(
             freq_mhz=frequencies_mhz,
             chunk_budget=chunk_budget,
             workers=workers,
+            backend=backend,
         )
         for level in PAPER_LEVELS
     }

@@ -37,7 +37,7 @@ from repro.analysis.realtime import RealTimeVerdict, realtime_verdict
 from repro.core.config import SystemConfig
 from repro.core.results import SimulationResult
 from repro.core.system import MultiChannelMemorySystem
-from repro.errors import ConfigurationError, WorkerError
+from repro.errors import CheckpointError, ConfigurationError, WorkerError
 from repro.load.model import DEFAULT_BLOCK_BYTES, VideoRecordingLoadModel
 from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
 from repro.parallel import parallel_map, resolve_workers
@@ -162,6 +162,7 @@ def _job_coords(job: SweepJob) -> Dict[str, object]:
         "level": level.name,
         "channels": config.channels,
         "freq_mhz": config.freq_mhz,
+        "backend": config.backend,
     }
 
 
@@ -177,6 +178,8 @@ def sweep_use_case(
     retry: Optional[RetryPolicy] = None,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressSink] = None,
+    backend: Optional[str] = None,
+    checkpoint_force: bool = False,
 ) -> SweepReport:
     """Cartesian sweep of levels x configurations.
 
@@ -184,12 +187,23 @@ def sweep_use_case(
     processes (``None``/1 = in-process, 0 = one per CPU); the returned
     report is in levels-major order and bit-identical either way.
 
+    ``backend`` overrides the simulation backend of every swept
+    configuration (``None`` keeps each config's own); the selection
+    travels inside the (picklable) configs, so pool workers honour it
+    without extra plumbing.
+
     ``checkpoint`` names a JSON-lines file: completed points are
     recorded as they finish, and points already present are skipped --
     an interrupted sweep re-run with the same arguments recomputes
-    only the missing work.  ``strict=False`` captures per-point
-    failures in the report instead of raising; ``retry`` overrides the
-    backoff schedule for transient pool failures.
+    only the missing work.  Points are keyed by the full job
+    description *including the backend*, and a checkpoint holding
+    points recorded under a different backend is refused with
+    :class:`~repro.errors.CheckpointError` -- silently blending e.g.
+    analytic estimates into a reference sweep would corrupt the
+    figures; pass ``checkpoint_force=True`` (CLI ``--force``) to mix
+    deliberately.  ``strict=False`` captures per-point failures in the
+    report instead of raising; ``retry`` overrides the backoff
+    schedule for transient pool failures.
 
     ``progress`` receives a heartbeat per completed point (and a final
     summary) as :class:`~repro.telemetry.ProgressEvent`\\ s with
@@ -206,6 +220,8 @@ def sweep_use_case(
     """
     if not levels or not configs:
         raise ConfigurationError("sweep needs at least one level and one config")
+    if backend is not None:
+        configs = [config.with_backend(backend) for config in configs]
     jobs: List[SweepJob] = [
         (index, level, config, scale, chunk_budget, block_bytes)
         for index, (level, config) in enumerate(
@@ -217,6 +233,17 @@ def sweep_use_case(
     results: List[Optional[SweepPoint]] = [None] * len(jobs)
     resumed = 0
     if store is not None:
+        sweep_backends = {config.backend for config in configs}
+        foreign = store.recorded_backends() - sweep_backends
+        if foreign and not checkpoint_force:
+            raise CheckpointError(
+                f"checkpoint {store.path} holds points recorded under "
+                f"backend(s) {', '.join(sorted(foreign))}, but this sweep "
+                f"uses {', '.join(sorted(sweep_backends))}; mixing backends "
+                "in one checkpoint blends fidelities -- use a separate "
+                "checkpoint file, or pass --force / checkpoint_force=True "
+                "to proceed"
+            )
         keys = [store.key_for(job) for job in jobs]
         done = store.load()
         for position, key in enumerate(keys):
@@ -234,6 +261,8 @@ def sweep_use_case(
     if telemetry is not None:
         registry = telemetry.registry
         registry.counter("sweep.points_total").add(len(jobs))
+        for name in sorted({config.backend for config in configs}):
+            registry.counter(f"sweep.backend.{name}").add(1)
         registry.counter("sweep.points_resumed").add(resumed)
         # Pre-register at zero so a fully resumed sweep still exports
         # the counter (a resumed campaign computed nothing, visibly).

@@ -1,0 +1,98 @@
+"""The :class:`ChannelBackend` protocol.
+
+The paper's methodology is explicitly multi-fidelity: "untimed
+transaction level models associated with separate timing and power
+information".  A backend is one such timing/power interpretation of a
+channel's access stream -- anything that can take the
+:class:`~repro.controller.request.ChannelRun` stream the Table II
+interleaver produces for one channel and return
+:class:`~repro.controller.engine.ChannelResult`-compatible timing,
+command and state data.
+
+Three fidelity levels ship with the package (see
+:mod:`repro.backends.registry`):
+
+``reference``
+    The event-driven :class:`~repro.controller.engine.ChannelEngine`,
+    cycle-resolution and protocol-auditable.  The ground truth.
+``fast``
+    Run-length batching over the same timing algebra: same-direction
+    streaming row hits are advanced arithmetically in one step and the
+    engine only falls back to per-access stepping at direction, row,
+    refresh and power-down boundaries.  Bit-identical to ``reference``
+    on every stream (the batch closed form is applied only when it is
+    provably exact), several times faster on streaming traffic.
+``analytic``
+    The closed-form model promoted to a full backend: O(runs) instead
+    of O(bursts), within its documented tolerance of the reference
+    (see docs/architecture.md, Backends).  Cannot produce command logs.
+
+A backend is a *factory*: :meth:`ChannelBackend.create` builds one
+:class:`ChannelSimulator` per (configuration, channel index), mirroring
+how :class:`~repro.core.system.MultiChannelMemorySystem` owns one
+engine per channel.  Simulators may keep per-channel state between
+calls exactly as :class:`ChannelEngine` does (it does not), but one
+``run`` call must be a pure function of its input stream.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.controller.engine import ChannelResult, RunLike
+    from repro.core.config import SystemConfig
+
+
+class ChannelSimulator(abc.ABC):
+    """One channel's simulator, built by a backend for one config.
+
+    The contract matches :meth:`ChannelEngine.run
+    <repro.controller.engine.ChannelEngine.run>`: process an ordered
+    stream of access runs, return a
+    :class:`~repro.controller.engine.ChannelResult`.
+    """
+
+    @abc.abstractmethod
+    def run(
+        self,
+        runs: "Iterable[RunLike]",
+        command_log: Optional[list] = None,
+    ) -> "ChannelResult":
+        """Simulate an ordered access stream on this channel.
+
+        ``command_log`` (a list to be filled with
+        :class:`~repro.dram.protocol.CommandRecord`) is only supported
+        by backends whose :attr:`ChannelBackend.supports_command_log`
+        is true; others raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+
+
+class ChannelBackend(abc.ABC):
+    """A pluggable simulation backend for one memory channel.
+
+    Register instances with
+    :func:`repro.backends.register_backend` to make them selectable by
+    name through ``SystemConfig(backend=...)``, the sweep runners and
+    the CLI's ``--backend`` flag.
+    """
+
+    #: Registry name (``SystemConfig(backend=<name>)``).
+    name: str = "abstract"
+
+    #: Whether :meth:`ChannelSimulator.run` accepts a ``command_log``
+    #: (and therefore whether ``check_invariants`` / protocol auditing
+    #: work under this backend).
+    supports_command_log: bool = False
+
+    #: One-line fidelity/speed description for docs and error messages.
+    description: str = ""
+
+    @abc.abstractmethod
+    def create(self, config: "SystemConfig", index: int = 0) -> ChannelSimulator:
+        """Build the simulator for channel ``index`` of ``config``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -21,6 +21,13 @@ EXPERIMENTS.md for how the output maps onto the paper's artifacts.
 worker processes (0 = one per CPU); the artifacts are bit-identical to
 the sequential default.
 
+``--backend NAME`` selects the simulation backend for every simulated
+point (see :mod:`repro.backends` and docs/architecture.md, Backends):
+``reference`` (default, exact), ``fast`` (bit-identical run-length
+batching, several times faster) or ``analytic`` (closed-form
+screening).  ``explore --prescreen analytic`` screens the design grid
+closed-form and refines only plausible points under ``--backend``.
+
 Fault tolerance (see :mod:`repro.resilience`):
 
 - ``--checkpoint FILE`` records every completed sweep point to FILE as
@@ -108,6 +115,19 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "simulation backend for every simulated point: 'reference' "
+            "(exact event-driven engine, the default), 'fast' "
+            "(bit-identical run-length batching, several times faster) or "
+            "'analytic' (closed-form screening); see docs/architecture.md, "
+            "Backends"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint",
         type=str,
         default=None,
@@ -123,6 +143,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "reuse the points already in --checkpoint FILE instead of "
             "truncating it; only missing points are recomputed"
+        ),
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help=(
+            "allow --resume to reuse checkpoint points recorded under a "
+            "different --backend (normally refused: mixing backends in "
+            "one checkpoint blends fidelities)"
         ),
     )
     parser.add_argument(
@@ -197,6 +226,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "explore", help="minimum channels and cheapest design point for a level"
     )
     p_ex.add_argument("--level", type=str, default="4", help="H.264 level name")
+    p_ex.add_argument(
+        "--prescreen",
+        type=str,
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "pre-screen the design grid under BACKEND (typically "
+            "'analytic') and refine only the plausible points under "
+            "--backend (docs/cookbook.md: screen-then-confirm)"
+        ),
+    )
 
     p_prof = sub.add_parser(
         "profile",
@@ -263,18 +303,23 @@ def _run_command(args: argparse.Namespace) -> List[str]:
     if args.workers is not None:
         kwargs["workers"] = args.workers
     budget_only = {k: v for k, v in kwargs.items() if k == "chunk_budget"}
+    backend_kw = {} if args.backend is None else {"backend": args.backend}
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
     if args.checkpoint is not None:
         if not args.resume:
             SweepCheckpoint(args.checkpoint).clear()
         kwargs["checkpoint"] = args.checkpoint
+        if args.force:
+            kwargs["checkpoint_force"] = True
     if not args.strict:
         kwargs["strict"] = False
     if args.check_invariants:
-        kwargs["base_config"] = SystemConfig(check_invariants=True)
+        kwargs["base_config"] = SystemConfig(check_invariants=True, **backend_kw)
     explore_kwargs = {
         k: v
         for k, v in kwargs.items()
-        if k in ("chunk_budget", "workers", "strict")
+        if k in ("chunk_budget", "workers", "strict", "backend")
     }
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
@@ -335,7 +380,9 @@ def _run_command(args: argparse.Namespace) -> List[str]:
             export_xdr(xdr, csv_dir / "xdr.csv")
     if command == "breakdown":
         level = level_by_name(args.level)
-        config = SystemConfig(channels=args.channels, freq_mhz=args.freq)
+        config = SystemConfig(
+            channels=args.channels, freq_mhz=args.freq, **backend_kw
+        )
         result = stage_breakdown(level, config, **budget_only)
         sections.append(
             f"== Per-stage breakdown: {level.column_title} on "
@@ -349,7 +396,11 @@ def _run_command(args: argparse.Namespace) -> List[str]:
         if not args.strict:
             report_kwargs["strict"] = False
         if args.check_invariants:
-            report_kwargs["base_config"] = SystemConfig(check_invariants=True)
+            report_kwargs["base_config"] = SystemConfig(
+                check_invariants=True, **backend_kw
+            )
+        elif args.backend is not None:
+            report_kwargs["base_config"] = SystemConfig(**backend_kw)
         anchors = write_report(args.out, **report_kwargs)
         held = sum(a.holds for a in anchors)
         sections.append(
@@ -360,7 +411,7 @@ def _run_command(args: argparse.Namespace) -> List[str]:
 
         summary = validate_configuration(
             level_by_name(args.level),
-            SystemConfig(channels=args.channels, freq_mhz=args.freq),
+            SystemConfig(channels=args.channels, freq_mhz=args.freq, **backend_kw),
             **budget_only,
         )
         sections.append("== Validation: all correctness oracles ==")
@@ -375,7 +426,9 @@ def _run_command(args: argparse.Namespace) -> List[str]:
             sections.append("no evaluated channel count meets real time at 400 MHz")
         else:
             sections.append(f"minimum channels at 400 MHz: {needed}")
-        best = find_minimum_power_configuration(level, **explore_kwargs)
+        best = find_minimum_power_configuration(
+            level, prescreen_backend=args.prescreen, **explore_kwargs
+        )
         if best is None:
             sections.append("no configuration passes with the 15 % margin")
         else:
@@ -399,7 +452,7 @@ def _run_command(args: argparse.Namespace) -> List[str]:
         sections.append("== Metrics ==")
         sections.append(_format_metrics_summary(telemetry))
     if args.metrics_out is not None:
-        write_metrics(args.metrics_out, command, telemetry)
+        write_metrics(args.metrics_out, command, telemetry, backend=args.backend)
         sections.append(f"wrote metrics to {args.metrics_out}")
     return sections
 
@@ -410,6 +463,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint FILE")
+    if args.backend is not None:
+        # Validate eagerly so even subcommands that never build a
+        # SystemConfig (e.g. table1) reject a typo'd backend.
+        from repro.backends.registry import validate_backend_name
+
+        validate_backend_name(args.backend)
+    if getattr(args, "prescreen", None) is not None:
+        from repro.backends.registry import validate_backend_name
+
+        validate_backend_name(args.prescreen)
     for section in _run_command(args):
         print(section)
         print()

@@ -48,6 +48,35 @@ class AnalyticEstimate:
         return self.access_time_ns / 1e6
 
 
+def direction_switch_cost_cycles(timing) -> float:
+    """Average cycles one read/write direction switch exposes.
+
+    The write->read side exposes tWTR plus the read-latency refill
+    beyond the write latency; the read->write side exposes the
+    configured bus-turnaround gap.  Switches alternate, so this is the
+    per-switch average.  Shared by :meth:`AnalyticModel.estimate` and
+    the ``analytic`` backend so the cost algebra exists exactly once.
+    """
+    wr_cost = timing.t_wtr + max(0, timing.cas_latency - timing.write_latency)
+    return (wr_cost + timing.t_rtw_gap) / 2.0
+
+
+def row_miss_cost_cycles(timing, queue_depth: int) -> float:
+    """Exposed cycles per row miss after command-queue hiding.
+
+    A precharge+activate pair costs tRP+tRCD, but the command queue
+    lets it issue while up to ``depth - 1`` earlier bursts still drain
+    on the data bus; only the remainder is exposed.
+    """
+    hidden = (queue_depth - 1) * timing.burst_cycles
+    return max(0, timing.t_rp + timing.t_rcd - hidden)
+
+
+def refresh_inflation(timing) -> float:
+    """Multiplicative busy-time inflation from the tRFC/tREFI duty loss."""
+    return 1.0 / (1.0 - timing.t_rfc / timing.t_refi)
+
+
 class AnalyticModel:
     """Closed-form predictor for a :class:`SystemConfig`."""
 
@@ -90,24 +119,17 @@ class AnalyticModel:
         data_cycles = accesses * t.burst_cycles
         ic_cycles = accesses * cfg.interconnect.address_cycles_per_access
 
-        # Direction switches: the write->read side exposes tWTR plus the
-        # read-latency refill beyond the write latency; the read->write
-        # side exposes the configured bus-turnaround gap.  Switches
-        # alternate, so charge the average per switch.
-        wr_cost = t.t_wtr + max(0, t.cas_latency - t.write_latency)
-        rw_cost = t.t_rtw_gap
-        switch_cycles = rw_switches * (wr_cost + rw_cost) / 2.0
+        switch_cycles = rw_switches * direction_switch_cost_cycles(t)
 
         if row_misses_per_channel is None:
             row_bytes = cfg.device.geometry.row_bytes
             row_misses_per_channel = bytes_per_channel / row_bytes
-        hidden = (cfg.queue.depth - 1) * t.burst_cycles
-        miss_cost = max(0, t.t_rp + t.t_rcd - hidden)
-        miss_cycles = row_misses_per_channel * miss_cost
+        miss_cycles = row_misses_per_channel * row_miss_cost_cycles(
+            t, cfg.queue.depth
+        )
 
         busy = data_cycles + ic_cycles + switch_cycles + miss_cycles
-        refresh_duty = t.t_rfc / t.t_refi
-        total_cycles = busy / (1.0 - refresh_duty)
+        total_cycles = busy * refresh_inflation(t)
 
         tck = clock_period_ns(cfg.freq_mhz)
         access_ns = total_cycles * tck

@@ -3,40 +3,59 @@
 Section III: *"A memory controller, DRAM interconnect, and bank
 cluster form an entity called channel model.  The delay and power
 consumption figures in the simulations are attained from the channel
-model."*  This class is that entity: it owns a timing engine and the
-matching power model and evaluates both over an access stream.
+model."*  This class is that entity: it owns a channel simulator
+(built by the configured :class:`~repro.backends.base.ChannelBackend`)
+and the matching power model and evaluates both over an access stream.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
-from repro.controller.engine import ChannelEngine, ChannelResult, RunLike
+from repro.backends.base import ChannelSimulator
+from repro.backends.registry import get_backend
+from repro.controller.engine import ChannelResult, RunLike
 from repro.core.config import SystemConfig
 from repro.dram.power import EnergyBreakdown, PowerModel
 
 
 class Channel:
-    """A simulatable channel built from a :class:`SystemConfig`."""
+    """A simulatable channel built from a :class:`SystemConfig`.
+
+    The timing side is whatever ``config.backend`` selects -- the
+    event-driven reference engine by default; the power model is
+    backend-independent (it integrates the counters and state
+    residencies every backend reports).
+    """
 
     def __init__(self, config: SystemConfig, index: int = 0) -> None:
         self.config = config
         self.index = index
-        self.engine = ChannelEngine(
-            device=config.device,
-            freq_mhz=config.freq_mhz,
-            multiplexing=config.multiplexing,
-            page_policy=config.page_policy,
-            power_down=config.power_down,
-            interconnect=config.interconnect,
-            queue=config.queue,
-            check_invariants=config.check_invariants,
-        )
+        self.backend = get_backend(config.backend)
+        self.simulator: ChannelSimulator = self.backend.create(config, index)
         self.power_model = PowerModel(config.device, config.freq_mhz)
 
-    def run(self, runs: Iterable[RunLike]) -> ChannelResult:
+    @property
+    def engine(self) -> ChannelSimulator:
+        """The channel's simulator (historical name).
+
+        Under the ``reference`` and ``fast`` backends this is a
+        :class:`~repro.controller.engine.ChannelEngine` (or subclass)
+        with the full engine surface (``make_checker``,
+        ``check_invariants``, ...); other backends only guarantee the
+        :class:`~repro.backends.base.ChannelSimulator` contract.
+        """
+        return self.simulator
+
+    def run(
+        self,
+        runs: Iterable[RunLike],
+        command_log: Optional[list] = None,
+    ) -> ChannelResult:
         """Simulate an access stream on this channel."""
-        return self.engine.run(runs)
+        if command_log is not None:
+            return self.simulator.run(runs, command_log=command_log)
+        return self.simulator.run(runs)
 
     def energy_of(self, result: ChannelResult) -> EnergyBreakdown:
         """DRAM core energy of a previously simulated stream."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.backends.registry import default_backend_name, validate_backend_name
 from repro.controller.interconnect import InterconnectModel
 from repro.controller.mapping import AddressMultiplexing
 from repro.controller.pagepolicy import PagePolicy
@@ -52,6 +53,16 @@ class SystemConfig:
     #: caps the pool at N processes.  Results are bit-identical either
     #: way -- see :mod:`repro.parallel` and docs/architecture.md.
     parallelism: int = 1
+    #: Simulation backend evaluating each channel's access stream:
+    #: ``"reference"`` (event-driven engine, exact), ``"fast"``
+    #: (run-length batching, bit-identical to reference and several
+    #: times faster on streaming traffic) or ``"analytic"``
+    #: (closed-form, O(runs), screening fidelity) -- plus any backend
+    #: registered via :func:`repro.backends.register_backend`.  The
+    #: default is the process-wide default backend (``reference``
+    #: unless overridden with
+    #: :func:`repro.backends.set_default_backend`).
+    backend: str = field(default_factory=default_backend_name)
     #: Audit every engine run's command stream against the datasheet
     #: timing constraints, raising :class:`~repro.errors.ProtocolError`
     #: on any violation.  Roughly doubles per-burst simulation cost;
@@ -73,6 +84,7 @@ class SystemConfig:
                 f"parallelism must be in [0, 256] (0 = one worker per "
                 f"CPU), got {self.parallelism}"
             )
+        validate_backend_name(self.backend)
         self.device.timing.validate_frequency(self.freq_mhz)
 
     # -- derived quantities -------------------------------------------------
@@ -103,10 +115,14 @@ class SystemConfig:
         """Return a copy with a different simulation worker count."""
         return replace(self, parallelism=parallelism)
 
+    def with_backend(self, backend: str) -> "SystemConfig":
+        """Return a copy selecting a different simulation backend."""
+        return replace(self, backend=backend)
+
     def describe(self) -> str:
         """One-line human-readable description for reports."""
         return (
             f"{self.channels}ch x {self.device.name} @ {self.freq_mhz:g} MHz, "
             f"{self.multiplexing}, {self.page_policy}-page, "
-            f"power-down={self.power_down.name}"
+            f"power-down={self.power_down.name}, backend={self.backend}"
         )

@@ -204,7 +204,7 @@ class MultiChannelMemorySystem:
 
             def run_audited() -> List[ChannelResult]:
                 return [
-                    channel.engine.run(runs, command_log=log)
+                    channel.run(runs, command_log=log)
                     for channel, runs, log in zip(
                         self.channels, per_channel, command_logs
                     )
@@ -278,6 +278,7 @@ class MultiChannelMemorySystem:
         """
         registry = telemetry.registry
         registry.counter("system.runs").add(1)
+        registry.counter(f"system.backend.{self.config.backend}").add(1)
         registry.counter("system.transactions").add(n_txns)
         registry.counter("system.chunks_queued").add(queued_chunks)
         for name, value in result.engine_stats().items():
@@ -293,7 +294,14 @@ class MultiChannelMemorySystem:
         """
         problems: List[str] = []
         for index, (channel, log) in enumerate(zip(self.channels, command_logs)):
-            for violation in channel.engine.make_checker().check(log):
+            checker_factory = getattr(channel.simulator, "make_checker", None)
+            if checker_factory is None:
+                raise ConfigurationError(
+                    f"backend {self.config.backend!r} does not support "
+                    "protocol auditing (no command logs); use the "
+                    "'reference' or 'fast' backend"
+                )
+            for violation in checker_factory().check(log):
                 problems.append(f"channel {index}: {violation}")
         return problems
 

@@ -136,6 +136,35 @@ class SweepCheckpoint:
             handle.write(line + "\n")
             handle.flush()
 
+    def recorded_backends(self) -> set:
+        """Simulation backends the on-disk points were recorded under.
+
+        Scans the human-readable ``coords`` only (no payload decode).
+        Entries predating backend tagging carry no ``backend`` coord
+        and contribute nothing -- they were all recorded under the
+        then-only reference engine and stay resumable.  Used by the
+        sweep runners to refuse mixing backends in one checkpoint file
+        unless forced.
+        """
+        backends: set = set()
+        if not self.path.exists():
+            return backends
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                coords = entry.get("coords")
+                if isinstance(coords, dict) and "backend" in coords:
+                    backends.add(coords["backend"])
+        return backends
+
     def clear(self) -> None:
         """Delete the checkpoint file (start the sweep from scratch)."""
         if self.path.exists():

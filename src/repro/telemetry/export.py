@@ -22,6 +22,11 @@ Schema (version ``repro-metrics/1``)::
                                "calls": <int>, "share": <float>}, ...]}
     }
 
+Optional additive keys (absent from older payloads, ignored by older
+consumers): ``"backend"`` -- the simulation backend the run selected
+(``--backend``); backend usage also appears as ``system.backend.<name>``
+and ``sweep.backend.<name>`` counters.
+
 Conventional metric namespaces (see docs/architecture.md):
 
 - ``system.*``  -- transaction/chunk counts from the memory system
@@ -60,11 +65,18 @@ REQUIRED_KEYS = (
 PathLike = Union[str, Path]
 
 
-def metrics_payload(command: str, telemetry: "Telemetry") -> Dict[str, Any]:
+def metrics_payload(
+    command: str, telemetry: "Telemetry", backend: Optional[str] = None
+) -> Dict[str, Any]:
     """Assemble the export payload for one run.
 
     ``command`` labels the run (the CLI passes its subcommand);
     ``telemetry`` supplies the registry snapshot and phase profile.
+    ``backend`` (the run's ``--backend`` selection) adds a top-level
+    ``"backend"`` key -- an additive extension of the schema, so
+    version-1 consumers are unaffected.  Per-run backend usage is also
+    visible in the ``system.backend.*`` / ``sweep.backend.*`` counters
+    regardless.
     """
     from repro import __version__
 
@@ -73,16 +85,21 @@ def metrics_payload(command: str, telemetry: "Telemetry") -> Dict[str, Any]:
         "command": command,
         "generated_by": f"repro {__version__}",
     }
+    if backend is not None:
+        payload["backend"] = backend
     payload.update(telemetry.registry.as_dict())
     payload["profile"] = telemetry.profiler.report().as_dict()
     return payload
 
 
 def write_metrics(
-    path: PathLike, command: str, telemetry: "Telemetry"
+    path: PathLike,
+    command: str,
+    telemetry: "Telemetry",
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Write the run's metrics JSON to ``path`` and return the payload."""
-    payload = metrics_payload(command, telemetry)
+    payload = metrics_payload(command, telemetry, backend=backend)
     Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
     )

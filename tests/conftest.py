@@ -9,11 +9,33 @@ from __future__ import annotations
 
 import pytest
 
+from repro.backends import set_default_backend
 from repro.controller.interconnect import InterconnectModel
 from repro.core.config import SystemConfig
 from repro.dram.datasheet import NEXT_GEN_MOBILE_DDR, next_gen_mobile_ddr
 from repro.usecase.levels import level_by_name
 from repro.usecase.pipeline import VideoRecordingUseCase
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        metavar="NAME",
+        help=(
+            "Run the suite with NAME as the default simulation backend "
+            "(reference, fast, analytic, or any registered name).  Every "
+            "SystemConfig built without an explicit backend= picks it up; "
+            "the CI backend matrix drives the smoke subset through this."
+        ),
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--backend")
+    if backend:
+        set_default_backend(backend)
 
 
 @pytest.fixture

@@ -159,6 +159,17 @@ class TestDescribe:
         assert system.describe() == system.config.describe()
 
 
+def _default_backend_logs_commands():
+    from repro.backends import get_backend
+    from repro.backends.registry import default_backend_name
+
+    return get_backend(default_backend_name()).supports_command_log
+
+
+@pytest.mark.skipif(
+    not _default_backend_logs_commands(),
+    reason="default backend cannot produce command logs to audit",
+)
 class TestSystemAudit:
     def test_use_case_run_is_protocol_clean_on_every_channel(self):
         """End-to-end integration: a real frame fragment through the

@@ -205,3 +205,71 @@ class TestTelemetryFlags:
             main(["profile"])
         with pytest.raises(SystemExit):
             main(["profile", "table1"])
+
+
+class TestBackendFlags:
+    def test_backend_fast_artifact_identical(self, capsys, fast_args):
+        assert main(fast_args + ["fig3"]) == 0
+        reference = capsys.readouterr().out
+        assert main(fast_args + ["--backend", "fast", "fig3"]) == 0
+        fast = capsys.readouterr().out
+        assert fast == reference
+
+    def test_backend_analytic_runs(self, capsys, fast_args):
+        assert main(fast_args + ["--backend", "analytic", "fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected_everywhere(self):
+        from repro.errors import ConfigurationError
+
+        # table1 builds no SystemConfig, so this pins the CLI's own
+        # eager validation rather than the config's.
+        with pytest.raises(ConfigurationError) as excinfo:
+            main(["--backend", "nope", "table1"])
+        message = str(excinfo.value)
+        assert "nope" in message
+        assert "reference" in message
+
+    def test_unknown_prescreen_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["explore", "--level", "3.1", "--prescreen", "nope"])
+
+    def test_checkpoint_backend_mixing_refused_without_force(
+        self, tmp_path, fast_args
+    ):
+        from repro.errors import CheckpointError
+
+        ckpt = tmp_path / "fig4.ckpt"
+        assert main(fast_args + ["--checkpoint", str(ckpt), "fig4"]) == 0
+        with pytest.raises(CheckpointError):
+            main(
+                fast_args
+                + ["--checkpoint", str(ckpt), "--resume",
+                   "--backend", "analytic", "fig4"]
+            )
+        assert main(
+            fast_args
+            + ["--checkpoint", str(ckpt), "--resume", "--force",
+               "--backend", "analytic", "fig4"]
+        ) == 0
+
+    def test_metrics_record_backend(self, tmp_path, capsys, fast_args):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            fast_args + ["--backend", "fast", "--metrics-out", str(path),
+                         "fig3"]
+        ) == 0
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["backend"] == "fast"
+        assert payload["counters"]["sweep.backend.fast"] > 0
+
+    def test_explore_prescreen(self, capsys):
+        assert main(
+            ["--budget", "10000", "explore", "--level", "3.1",
+             "--prescreen", "analytic"]
+        ) == 0
+        assert "minimum channels" in capsys.readouterr().out
