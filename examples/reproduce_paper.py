@@ -24,6 +24,7 @@ from repro.analysis.experiments import (
     run_xdr_comparison,
 )
 from repro.analysis.realtime import RealTimeVerdict
+from repro.regression import GOLDEN_CHUNK_BUDGET, compare_results
 
 
 def check(name: str, condition: bool, detail: str = "") -> bool:
@@ -96,6 +97,30 @@ def main(fast: bool = False) -> int:
     results.append(check("power 4-25 % of XDR",
                          abs(lo - 0.04) < 0.01 and abs(hi - 0.25) < 0.035,
                          f"{lo * 100:.0f}-{hi * 100:.0f} %"))
+
+    print("\n== Golden baselines ==")
+    # The committed goldens are captured at the --fast budget, so that
+    # run must match them exactly; the full-budget run simulates a
+    # larger workload sample and is held to a 5% cross-budget band
+    # (verdicts excluded: near-boundary cells legitimately flip when
+    # the access time moves inside the band).
+    exact = budget == GOLDEN_CHUNK_BUDGET
+    comparisons = compare_results(
+        table1=table,
+        table2=run_table2(8),
+        fig3=fig3,
+        fig4=fig5.fig4,
+        fig5=fig5,
+        extra_rel=0.0 if exact else 0.05,
+        check_verdicts=exact,
+    )
+    for comparison in comparisons:
+        print(comparison.format())
+    results.append(check(
+        "all artifacts match the golden baselines",
+        all(c.passed for c in comparisons),
+        "exact" if exact else "5% cross-budget band",
+    ))
 
     passed = sum(results)
     print(f"\n{passed}/{len(results)} paper anchors reproduced")

@@ -121,6 +121,27 @@ class Fig3Result:
         """The red line of Fig. 3."""
         return self.level.frame_period_ms
 
+    def as_records(self) -> List[Dict[str, object]]:
+        """Flat per-point records in sweep order: ``freq_mhz``,
+        ``channels``, ``access_ms``, ``verdict``.  Failed cells
+        (graceful degradation) are omitted.  Shared by the CSV
+        exporter and the golden-baseline store
+        (:mod:`repro.regression`)."""
+        records: List[Dict[str, object]] = []
+        for freq in self.frequencies_mhz:
+            for channels in self.channel_counts:
+                if channels not in self.access_ms.get(freq, {}):
+                    continue
+                records.append(
+                    {
+                        "freq_mhz": freq,
+                        "channels": channels,
+                        "access_ms": self.access_ms[freq][channels],
+                        "verdict": str(self.verdicts[freq][channels]),
+                    }
+                )
+        return records
+
     def format(self) -> str:
         """ASCII rendition: one row per frequency, one column per
         channel count, with the paper's verdict annotations."""
@@ -237,6 +258,28 @@ class Fig4Result:
         """Feasibility of one bar."""
         return self.points[level_name][channels].verdict
 
+    def as_records(self) -> List[Dict[str, object]]:
+        """Flat per-point records: ``level``, ``format``, ``fps``,
+        ``channels``, ``access_ms``, ``verdict``.  Failed cells are
+        omitted.  Shared by the CSV exporter and the golden store."""
+        records: List[Dict[str, object]] = []
+        for level in self.levels:
+            for channels in self.channel_counts:
+                point = self.points.get(level.name, {}).get(channels)
+                if point is None:
+                    continue
+                records.append(
+                    {
+                        "level": level.name,
+                        "format": level.frame.name,
+                        "fps": level.fps,
+                        "channels": channels,
+                        "access_ms": point.access_time_ms,
+                        "verdict": str(point.verdict),
+                    }
+                )
+        return records
+
     def format(self) -> str:
         """ASCII rendition: rows = formats, columns = channel counts."""
         header = ["Frame format"] + [f"{m} ch [ms]" for m in self.channel_counts]
@@ -351,6 +394,30 @@ class Fig5Result:
     def point(self, level_name: str, channels: int) -> SweepPoint:
         """One bar's underlying sweep point."""
         return self.fig4.points[level_name][channels]
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """Flat per-point records: ``level``, ``channels``,
+        ``power_mw`` (the bar height: 0 when real time is missed),
+        ``raw_power_mw``, ``interface_mw``, ``verdict``.  Failed cells
+        are omitted.  Shared by the CSV exporter and the golden
+        store."""
+        records: List[Dict[str, object]] = []
+        for level in self.levels:
+            for channels in self.channel_counts:
+                point = self.fig4.points.get(level.name, {}).get(channels)
+                if point is None:
+                    continue
+                records.append(
+                    {
+                        "level": level.name,
+                        "channels": channels,
+                        "power_mw": point.reported_power_mw,
+                        "raw_power_mw": point.total_power_mw,
+                        "interface_mw": point.power.interface_power_w * 1e3,
+                        "verdict": str(point.verdict),
+                    }
+                )
+        return records
 
     def format(self) -> str:
         """ASCII rendition with total and interface power per bar."""

@@ -41,36 +41,26 @@ def export_table1(table: BandwidthTable, path: PathLike) -> int:
 
 def export_fig3(result: Fig3Result, path: PathLike) -> int:
     """Fig. 3 as CSV: freq_mhz, channels, access_ms, verdict."""
-    rows = []
-    for freq in result.frequencies_mhz:
-        for channels in result.channel_counts:
-            rows.append(
-                [
-                    freq,
-                    channels,
-                    round(result.access_ms[freq][channels], 4),
-                    str(result.verdicts[freq][channels]),
-                ]
-            )
+    rows = [
+        [r["freq_mhz"], r["channels"], round(r["access_ms"], 4), r["verdict"]]
+        for r in result.as_records()
+    ]
     return _write_rows(path, ["freq_mhz", "channels", "access_ms", "verdict"], rows)
 
 
 def export_fig4(result: Fig4Result, path: PathLike) -> int:
     """Fig. 4 as CSV: level, format, fps, channels, access_ms, verdict."""
-    rows = []
-    for level in result.levels:
-        for channels in result.channel_counts:
-            point = result.points[level.name][channels]
-            rows.append(
-                [
-                    level.name,
-                    level.frame.name,
-                    level.fps,
-                    channels,
-                    round(point.access_time_ms, 4),
-                    str(point.verdict),
-                ]
-            )
+    rows = [
+        [
+            r["level"],
+            r["format"],
+            r["fps"],
+            r["channels"],
+            round(r["access_ms"], 4),
+            r["verdict"],
+        ]
+        for r in result.as_records()
+    ]
     return _write_rows(
         path,
         ["level", "format", "fps", "channels", "access_ms", "verdict"],
@@ -81,20 +71,17 @@ def export_fig4(result: Fig4Result, path: PathLike) -> int:
 def export_fig5(result: Fig5Result, path: PathLike) -> int:
     """Fig. 5 as CSV: level, channels, power_mw (0 when infeasible, the
     paper's bar convention), raw_power_mw, interface_mw, verdict."""
-    rows = []
-    for level in result.levels:
-        for channels in result.channel_counts:
-            point = result.point(level.name, channels)
-            rows.append(
-                [
-                    level.name,
-                    channels,
-                    round(point.reported_power_mw, 3),
-                    round(point.total_power_mw, 3),
-                    round(point.power.interface_power_w * 1e3, 4),
-                    str(point.verdict),
-                ]
-            )
+    rows = [
+        [
+            r["level"],
+            r["channels"],
+            round(r["power_mw"], 3),
+            round(r["raw_power_mw"], 3),
+            round(r["interface_mw"], 4),
+            r["verdict"],
+        ]
+        for r in result.as_records()
+    ]
     return _write_rows(
         path,
         ["level", "channels", "power_mw", "raw_power_mw", "interface_mw", "verdict"],

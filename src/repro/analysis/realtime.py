@@ -19,6 +19,7 @@ marginal ones.
 from __future__ import annotations
 
 import enum
+import math
 
 from repro.errors import ConfigurationError
 
@@ -56,9 +57,20 @@ def realtime_verdict(
     >>> realtime_verdict(40.0, 33.3)
     <RealTimeVerdict.FAIL: 'fail'>
     """
+    # Finiteness first: a NaN access time compares False against every
+    # threshold below, which would fall through to PASS -- the one
+    # verdict a corrupted measurement must never earn.
+    if not math.isfinite(access_time_ms):
+        raise ConfigurationError(
+            f"access time must be finite, got {access_time_ms}"
+        )
     if access_time_ms < 0:
         raise ConfigurationError(
             f"access time must be >= 0, got {access_time_ms}"
+        )
+    if not math.isfinite(frame_period_ms):
+        raise ConfigurationError(
+            f"frame period must be finite, got {frame_period_ms}"
         )
     if frame_period_ms <= 0:
         raise ConfigurationError(

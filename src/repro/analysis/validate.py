@@ -16,8 +16,9 @@ can re-verify the whole stack with one call:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.controller.request import MasterTransaction
 from repro.core.analytic import AnalyticModel
 from repro.core.config import SystemConfig
 from repro.core.system import MultiChannelMemorySystem
@@ -62,6 +63,100 @@ class ValidationSummary:
         return "\n".join(lines)
 
 
+def check_traffic_oracles(
+    transactions: Sequence[MasterTransaction],
+    config: SystemConfig,
+    scale: float = 1.0,
+    analytic_tolerance: Optional[float] = 0.15,
+    include_locality: bool = True,
+) -> List[ValidationCheck]:
+    """Run the traffic-independent oracles on an arbitrary stream.
+
+    The reusable core of :func:`validate_configuration`, shared with
+    the metamorphic invariant checks of
+    :mod:`repro.regression.invariants`, which fuzz streams that have no
+    use-case level attached:
+
+    1. **protocol audit** — every channel's command stream honours the
+       device protocol;
+    2. **locality agreement** — the engine's activate count brackets
+       the static prediction (equal up to refresh-induced re-opens);
+    3. **analytic agreement** — the closed-form access time tracks the
+       simulation within ``analytic_tolerance`` (skipped when the
+       tolerance is ``None``: the closed form only documents fidelity
+       for streaming workloads, so callers feeding it worst-case random
+       traffic opt out explicitly rather than assert a bound the model
+       never promised).
+
+    ``include_locality=False`` skips check 2's activate-count oracle:
+    the static locality analyzer assumes the open page policy (it
+    predicts row *re-opens*, and under closed page every access
+    re-opens its row by construction), so closed-page callers must opt
+    out.
+    """
+    checks: List[ValidationCheck] = []
+
+    system = MultiChannelMemorySystem(config)
+    logs: List[list] = []
+    result = system.run(transactions, scale=scale, command_logs=logs)
+    problems = system.audit(logs)
+    checks.append(
+        ValidationCheck(
+            "protocol audit",
+            not problems,
+            f"{sum(len(l) for l in logs)} commands, "
+            f"{len(problems)} violations",
+        )
+    )
+
+    if include_locality:
+        pred = predict_locality(
+            transactions,
+            config.channels,
+            config.device.geometry,
+            config.multiplexing,
+        )
+        counters = result.merged_counters()
+        slack = counters.refreshes * config.device.geometry.banks * 2
+        locality_ok = (
+            pred.total_activates
+            <= counters.activates
+            <= pred.total_activates + slack
+        )
+        checks.append(
+            ValidationCheck(
+                "locality agreement",
+                locality_ok,
+                f"predicted {pred.total_activates} activates, engine "
+                f"{counters.activates} (refresh slack {slack})",
+            )
+        )
+
+    if analytic_tolerance is not None:
+        if analytic_tolerance <= 0:
+            raise ConfigurationError("analytic_tolerance must be positive")
+        summary = VideoRecordingLoadModel.summarize(list(transactions))
+        estimate = AnalyticModel(config).estimate(
+            summary.total_bytes,
+            rw_switches=summary.rw_switches,
+            read_fraction=summary.read_fraction,
+        )
+        rel = abs(estimate.access_time_ns - result.sample_access_time_ns) / (
+            result.sample_access_time_ns
+        )
+        checks.append(
+            ValidationCheck(
+                "analytic agreement",
+                rel < analytic_tolerance,
+                f"analytic {estimate.access_time_ns / 1e6:.3f} ms vs simulated "
+                f"{result.sample_access_time_ns / 1e6:.3f} ms "
+                f"({rel * 100:.1f} % off)",
+            )
+        )
+
+    return checks
+
+
 def validate_configuration(
     level: H264Level,
     config: SystemConfig,
@@ -103,53 +198,10 @@ def validate_configuration(
         )
     )
 
-    # 2. protocol audit
-    system = MultiChannelMemorySystem(config)
-    logs: List[list] = []
-    result = system.run(txns, scale=scale, command_logs=logs)
-    problems = system.audit(logs)
-    checks.append(
-        ValidationCheck(
-            "protocol audit",
-            not problems,
-            f"{sum(len(l) for l in logs)} commands, "
-            f"{len(problems)} violations",
-        )
-    )
-
-    # 3. locality agreement
-    pred = predict_locality(
-        txns, config.channels, config.device.geometry, config.multiplexing
-    )
-    counters = result.merged_counters()
-    slack = counters.refreshes * config.device.geometry.banks * 2
-    locality_ok = (
-        pred.total_activates <= counters.activates <= pred.total_activates + slack
-    )
-    checks.append(
-        ValidationCheck(
-            "locality agreement",
-            locality_ok,
-            f"predicted {pred.total_activates} activates, engine "
-            f"{counters.activates} (refresh slack {slack})",
-        )
-    )
-
-    # 4. analytic agreement
-    estimate = AnalyticModel(config).estimate(
-        summary.total_bytes,
-        rw_switches=summary.rw_switches,
-        read_fraction=summary.read_fraction,
-    )
-    rel = abs(estimate.access_time_ns - result.sample_access_time_ns) / (
-        result.sample_access_time_ns
-    )
-    checks.append(
-        ValidationCheck(
-            "analytic agreement",
-            rel < analytic_tolerance,
-            f"analytic {estimate.access_time_ns / 1e6:.3f} ms vs simulated "
-            f"{result.sample_access_time_ns / 1e6:.3f} ms ({rel * 100:.1f} % off)",
+    # 2-4. protocol audit, locality agreement, analytic agreement
+    checks.extend(
+        check_traffic_oracles(
+            txns, config, scale=scale, analytic_tolerance=analytic_tolerance
         )
     )
 

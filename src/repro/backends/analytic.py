@@ -193,6 +193,9 @@ class AnalyticBackend(ChannelBackend):
         "closed-form model; O(runs) not O(bursts), screening fidelity, "
         "no command logs"
     )
+    #: Documented access-time agreement with the reference on the
+    #: paper's streaming workloads (docs/architecture.md, Backends).
+    reference_tolerance = 0.15
 
     def create(self, config: SystemConfig, index: int = 0) -> AnalyticChannelSimulator:
         """One closed-form simulator per channel."""

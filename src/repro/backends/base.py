@@ -90,6 +90,21 @@ class ChannelBackend(abc.ABC):
     #: One-line fidelity/speed description for docs and error messages.
     description: str = ""
 
+    #: Documented relative access-time agreement with the ``reference``
+    #: backend: ``0.0`` declares the backend *bit-identical* (the
+    #: differential fuzzer and the golden comparator then demand exact
+    #: equality of timing, counters and state residencies), a positive
+    #: value declares a screening fidelity (results are compared within
+    #: this relative tolerance and exact-valued fields are skipped).
+    #: Custom backends registered at runtime inherit the strict default
+    #: and should widen it to whatever their model actually guarantees.
+    reference_tolerance: float = 0.0
+
+    @property
+    def bit_identical(self) -> bool:
+        """Whether this backend promises reference-exact results."""
+        return self.reference_tolerance == 0.0
+
     @abc.abstractmethod
     def create(self, config: "SystemConfig", index: int = 0) -> ChannelSimulator:
         """Build the simulator for channel ``index`` of ``config``."""

@@ -48,6 +48,7 @@ class ReferenceBackend(ChannelBackend):
     description = (
         "event-driven cycle-resolution engine; exact, auditable, slowest"
     )
+    reference_tolerance = 0.0  # it *is* the reference
 
     def create(self, config: SystemConfig, index: int = 0) -> ChannelEngine:
         """One :class:`ChannelEngine` per channel, as before."""

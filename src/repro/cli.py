@@ -11,6 +11,8 @@ Usage::
     repro-sim breakdown [--level 4 --channels 4]
     repro-sim explore   [--level 4.2]
     repro-sim profile fig3 [--freq 400]
+    repro-sim verify-paper [--update] [--goldens DIR]
+    repro-sim fuzz [--cases 100 --seed 0]
     repro-sim all
 
 Every subcommand prints the regenerated table/figure as ASCII; pass
@@ -48,6 +50,19 @@ Observability (see :mod:`repro.telemetry`):
   failures) to stderr while a sweep runs.
 - ``profile <figure>`` runs one figure's sweep with profiling on and
   prints the phase breakdown plus the engine statistics.
+
+Regression (see :mod:`repro.regression` and docs/architecture.md,
+Regression & goldens):
+
+- ``verify-paper`` regenerates every paper artifact and compares it
+  cell by cell against the committed golden baselines, exiting
+  non-zero on any out-of-tolerance cell; ``--update`` recaptures the
+  goldens instead (requires a bit-identical backend), ``--goldens
+  DIR`` points at an alternative golden store.
+- ``fuzz`` runs a seeded differential-fuzzing campaign: every case
+  under ``fast``/``analytic`` vs the reference, plus metamorphic
+  invariant checks; exits non-zero on any mismatch.  ``--repro
+  STRING`` replays a single failure repro instead.
 """
 
 from __future__ import annotations
@@ -55,7 +70,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.breakdown import stage_breakdown
 from repro.analysis.experiments import (
@@ -265,6 +280,56 @@ def _build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--channels", type=int, default=4, help="channel count")
     p_val.add_argument("--freq", type=float, default=400.0, help="clock, MHz")
 
+    p_vp = sub.add_parser(
+        "verify-paper",
+        help="check every regenerated artifact against the golden baselines",
+    )
+    p_vp.add_argument(
+        "--update",
+        action="store_true",
+        help=(
+            "recapture the golden files from the current tree instead of "
+            "verifying (requires a bit-identical backend)"
+        ),
+    )
+    p_vp.add_argument(
+        "--goldens",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="golden store directory (default: the committed baselines)",
+    )
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz every backend against the reference",
+    )
+    p_fz.add_argument(
+        "--cases", type=int, default=100, help="number of generated cases"
+    )
+    p_fz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (deterministic)"
+    )
+    p_fz.add_argument(
+        "--no-shrink",
+        dest="shrink",
+        action="store_false",
+        help="report failures unshrunk (faster on a failing tree)",
+    )
+    p_fz.add_argument(
+        "--no-invariants",
+        dest="invariants",
+        action="store_false",
+        help="skip the metamorphic invariant checks",
+    )
+    p_fz.add_argument(
+        "--repro",
+        type=str,
+        default=None,
+        metavar="STRING",
+        help="replay one failure repro string instead of a campaign",
+    )
+
     sub.add_parser("all", help="run every artifact in paper order")
     return parser
 
@@ -291,7 +356,9 @@ def _format_metrics_summary(telemetry: Telemetry) -> str:
     return "\n".join(lines) if lines else "  (no metrics recorded)"
 
 
-def _run_command(args: argparse.Namespace) -> List[str]:
+def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
+    """Execute one subcommand; returns (output sections, exit code)."""
+    exit_code = 0
     telemetry: Optional[Telemetry] = None
     if args.metrics_out is not None or args.command == "profile":
         telemetry = Telemetry.enabled()
@@ -437,6 +504,63 @@ def _run_command(args: argparse.Namespace) -> List[str]:
                 f"{best.config.freq_mhz:g} MHz -> {best.access_time_ms:.1f} ms, "
                 f"{best.total_power_mw:.0f} mW"
             )
+    if command == "verify-paper":
+        from repro.regression import GOLDEN_CHUNK_BUDGET, update_goldens, verify_paper
+
+        common = dict(
+            directory=args.goldens,
+            backend=args.backend,
+            workers=args.workers,
+            telemetry=telemetry,
+            progress=kwargs.get("progress"),
+        )
+        if args.update:
+            written = update_goldens(
+                chunk_budget=(
+                    args.budget if args.budget is not None else GOLDEN_CHUNK_BUDGET
+                ),
+                **common,
+            )
+            sections.append("== Golden baselines recaptured ==")
+            sections.extend(f"wrote {path}" for path in written)
+        else:
+            verification = verify_paper(**common)
+            sections.append("== Paper verification against goldens ==")
+            sections.append(verification.format())
+            if not verification.passed:
+                exit_code = 1
+    if command == "fuzz":
+        from repro.regression import run_fuzz, run_repro
+
+        if args.repro is not None:
+            backend = args.backend if args.backend is not None else "fast"
+            problems = run_repro(args.repro, backend)
+            sections.append(f"== Repro replay under backend={backend} ==")
+            if problems:
+                sections.extend(f"  {p}" for p in problems)
+                sections.append("FAIL: repro still mismatches")
+                exit_code = 1
+            else:
+                sections.append("PASS: repro no longer mismatches")
+        else:
+            # --backend narrows the campaign to one backend-under-test;
+            # the default (and explicit 'reference') differentially
+            # checks every non-reference built-in.
+            backends = None
+            if args.backend is not None and args.backend != "reference":
+                backends = [args.backend]
+            report = run_fuzz(
+                cases=args.cases,
+                seed=args.seed,
+                backends=backends,
+                check_invariants=args.invariants,
+                shrink=args.shrink,
+                telemetry=telemetry,
+            )
+            sections.append("== Differential fuzzing campaign ==")
+            sections.append(report.format())
+            if not report.passed:
+                exit_code = 1
     if command == "profile":
         figure = args.figure
         if figure == "fig3":
@@ -454,7 +578,7 @@ def _run_command(args: argparse.Namespace) -> List[str]:
     if args.metrics_out is not None:
         write_metrics(args.metrics_out, command, telemetry, backend=args.backend)
         sections.append(f"wrote metrics to {args.metrics_out}")
-    return sections
+    return sections, exit_code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -473,10 +597,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.backends.registry import validate_backend_name
 
         validate_backend_name(args.prescreen)
-    for section in _run_command(args):
+    sections, exit_code = _run_command(args)
+    for section in sections:
         print(section)
         print()
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,7 @@ times the 32-bit word = 16 bytes).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -62,10 +63,19 @@ class MasterTransaction:
             raise ConfigurationError(f"address must be >= 0, got {self.address}")
         if self.size <= 0:
             raise ConfigurationError(f"size must be positive, got {self.size}")
-        if self.arrival_ns is not None and self.arrival_ns < 0:
-            raise ConfigurationError(
-                f"arrival_ns must be >= 0, got {self.arrival_ns}"
-            )
+        if self.arrival_ns is not None:
+            # isfinite first: every comparison against NaN is False, so
+            # a bare `< 0` test would wave NaN (and +inf) through into
+            # the engine's time arithmetic and poison every cycle
+            # computation downstream.
+            if not math.isfinite(self.arrival_ns):
+                raise ConfigurationError(
+                    f"arrival_ns must be finite, got {self.arrival_ns}"
+                )
+            if self.arrival_ns < 0:
+                raise ConfigurationError(
+                    f"arrival_ns must be >= 0, got {self.arrival_ns}"
+                )
 
     @property
     def end_address(self) -> int:

@@ -74,3 +74,13 @@ class WorkerError(SimulationError):
 
 class CheckpointError(ReproError):
     """A sweep checkpoint file could not be read or written."""
+
+
+class RegressionError(ReproError):
+    """A golden-baseline file could not be loaded or is malformed.
+
+    Distinct from a *mismatch* (the engine drifting from the goldens),
+    which is reported as data by the comparator so every failing cell
+    can be shown at once; this exception covers the store itself being
+    unusable -- missing files, unknown schema, corrupt JSON.
+    """

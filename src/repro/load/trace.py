@@ -9,12 +9,29 @@ to sized block transfers)::
     W 0x00002000 4096 0
 
 Fields: operation (``R``/``W``), hexadecimal or decimal byte address,
-size in bytes, and the arrival time in nanoseconds (optional, default
-zero = backlogged).
+size in bytes, and the arrival time in nanoseconds (optional; a line
+without it parses as ``arrival_ns=None`` = backlogged).
+
+Field constraints, enforced at parse time with
+:class:`~repro.errors.TraceFormatError`:
+
+- the address must be a non-negative integer;
+- the size must be a positive integer;
+- the arrival stamp, when present, must be a **finite**, non-negative
+  float.  ``nan`` and ``inf`` are rejected outright: every comparison
+  against NaN is ``False``, so a non-finite stamp that slipped through
+  would pass any range check and poison the engine's time arithmetic.
+
+Writing is lossless: :func:`write_trace` emits the arrival field
+whenever ``arrival_ns is not None`` (including an explicit ``0.0``
+timestamp, which is a real stamp, not a missing one -- see
+:class:`~repro.controller.request.MasterTransaction`), so a
+write -> read -> write round trip reproduces the file byte for byte.
 """
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import Iterable, List, Sequence, Union
 
@@ -33,7 +50,10 @@ def write_trace(path: PathLike, transactions: Iterable[MasterTransaction]) -> in
     with open(path, "w", encoding="ascii") as handle:
         handle.write("# repro trace v1: op address size arrival_ns\n")
         for txn in transactions:
-            if txn.arrival_ns:
+            # `is not None`, not truthiness: an explicit 0.0 stamp is a
+            # real timestamp and must survive the round trip, while only
+            # a backlogged (None) arrival drops the field.
+            if txn.arrival_ns is not None:
                 # repr() round-trips floats exactly; %g would truncate
                 # paced arrival stamps to 6 significant digits.
                 handle.write(
@@ -61,9 +81,30 @@ def parse_trace_line(line: str, lineno: int = 0) -> MasterTransaction:
     try:
         address = int(fields[1], 0)
         size = int(fields[2], 0)
-        arrival = float(fields[3]) if len(fields) == 4 else 0.0
+        arrival = float(fields[3]) if len(fields) == 4 else None
     except ValueError as exc:
         raise TraceFormatError(f"line {lineno}: {exc} in {line!r}") from exc
+    # Reject out-of-range fields here with the line number attached,
+    # rather than letting MasterTransaction's ConfigurationError lose
+    # the file coordinates.  float() accepts 'nan'/'inf' spellings, so
+    # finiteness must be an explicit check.
+    if address < 0:
+        raise TraceFormatError(
+            f"line {lineno}: address must be >= 0, got {address} in {line!r}"
+        )
+    if size <= 0:
+        raise TraceFormatError(
+            f"line {lineno}: size must be positive, got {size} in {line!r}"
+        )
+    if arrival is not None and not math.isfinite(arrival):
+        raise TraceFormatError(
+            f"line {lineno}: arrival_ns must be finite, got {fields[3]} "
+            f"in {line!r}"
+        )
+    if arrival is not None and arrival < 0:
+        raise TraceFormatError(
+            f"line {lineno}: arrival_ns must be >= 0, got {arrival} in {line!r}"
+        )
     try:
         return MasterTransaction(
             op=_OPS[op_name], address=address, size=size, arrival_ns=arrival

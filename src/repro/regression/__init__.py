@@ -1,0 +1,93 @@
+"""Regression subsystem: golden baselines, differential fuzzing,
+metamorphic invariants.
+
+Three complementary nets under the paper's numbers:
+
+- :mod:`repro.regression.baseline` pins the Table I/II and Fig. 3/4/5
+  artifacts to versioned JSON goldens with per-metric tolerances
+  (``repro-sim verify-paper``);
+- :mod:`repro.regression.fuzzer` differentially fuzzes every backend
+  against the reference engine over the sampled configuration space
+  (``repro-sim fuzz``);
+- :mod:`repro.regression.invariants` checks metamorphic relations --
+  monotonicity in channels and clock, prefix consistency -- that hold
+  even if every backend shares a bug.
+"""
+
+from repro.regression.baseline import (
+    GOLDEN_ARTIFACTS,
+    GOLDEN_CHUNK_BUDGET,
+    GOLDEN_SCHEMA,
+    PACKAGED_GOLDENS_DIR,
+    CellDiff,
+    GoldenComparison,
+    PaperVerification,
+    Tolerance,
+    capture_goldens,
+    compare_grid,
+    compare_results,
+    compare_table1,
+    compare_table2,
+    golden_path,
+    load_golden,
+    load_goldens,
+    update_goldens,
+    verify_paper,
+    write_goldens,
+)
+from repro.regression.fuzzer import (
+    FuzzCase,
+    FuzzMismatch,
+    FuzzReport,
+    compare_case,
+    generate_case,
+    generate_cases,
+    parse_repro,
+    run_fuzz,
+    run_repro,
+    shrink_case,
+)
+from repro.regression.invariants import (
+    InvariantViolation,
+    check_case_invariants,
+    check_channel_monotonicity,
+    check_frequency_monotonicity,
+    check_prefix_consistency,
+)
+
+__all__ = [
+    "GOLDEN_ARTIFACTS",
+    "GOLDEN_CHUNK_BUDGET",
+    "GOLDEN_SCHEMA",
+    "PACKAGED_GOLDENS_DIR",
+    "CellDiff",
+    "GoldenComparison",
+    "PaperVerification",
+    "Tolerance",
+    "capture_goldens",
+    "compare_grid",
+    "compare_results",
+    "compare_table1",
+    "compare_table2",
+    "golden_path",
+    "load_golden",
+    "load_goldens",
+    "update_goldens",
+    "verify_paper",
+    "write_goldens",
+    "FuzzCase",
+    "FuzzMismatch",
+    "FuzzReport",
+    "compare_case",
+    "generate_case",
+    "generate_cases",
+    "parse_repro",
+    "run_fuzz",
+    "run_repro",
+    "shrink_case",
+    "InvariantViolation",
+    "check_case_invariants",
+    "check_channel_monotonicity",
+    "check_frequency_monotonicity",
+    "check_prefix_consistency",
+]

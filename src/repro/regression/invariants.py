@@ -1,0 +1,209 @@
+"""Metamorphic invariants: relations that must hold across runs.
+
+Differential fuzzing catches backends disagreeing with the reference;
+it cannot catch the reference being wrong in a way every backend
+reproduces.  Metamorphic testing closes part of that gap with
+relations between *pairs* of runs that follow from the system's
+physics, not from any oracle's opinion of the right answer:
+
+- **channel monotonicity** -- doubling the channel count splits every
+  channel's access stream across two channels (the Table II
+  interleaving refines ``chunk % c`` into ``chunk % 2c``), so no
+  channel does more work and the slowest channel can only finish
+  sooner.  Adding channels must never increase access time (beyond
+  :data:`CHANNEL_SLACK_REL` of rounding headroom).  The relation is
+  checked on *contiguous* traffic shapes only: a degenerate stride can
+  alias the whole stream onto one channel in both configurations, and
+  the doubled config's re-mapped bank bits can then serialise accesses
+  that previously pipelined across banks (tRC-limited instead of
+  tRRD-limited) -- genuinely slower, not a simulator bug, so strided
+  and uniform-random shapes are out of the invariant's domain.
+- **frequency monotonicity** -- *doubling* the clock maps every
+  timing parameter's cycle count through ``ceil(2x) <= 2*ceil(x)``,
+  so each constraint's wall-clock cost can only shrink.  (Arbitrary
+  clock steps do **not** carry this guarantee: stepping 200 to
+  266 MHz re-rounds every ``ceil(t_ns * f)`` and a parameter can get
+  fractionally *slower*, which is rounding, not a bug -- so the check
+  only compares f against 2f.)
+- **prefix consistency** -- a prefix of a traffic stream must not
+  finish later than the full stream: per-channel service is FIFO and
+  refresh fires on schedule regardless of future arrivals, so the
+  prefix's commands are timed identically in both runs.  (A general
+  *subset* carries no such guarantee -- removing a middle transaction
+  changes which rows later accesses find open.)
+
+Each case is additionally run through the cross-checking oracles of
+:func:`repro.analysis.validate.check_traffic_oracles`: the protocol
+audit always, the locality oracle only under the open page policy (the
+static analyzer predicts row re-opens, which closed page makes
+unconditional).  The coarse whole-stream analytic oracle is *not*
+applied here -- the differential fuzzer already pins the analytic
+*backend* (which models arrival gaps and per-channel streams) to the
+reference on the workloads its tolerance is documented for, and the
+whole-stream closed form is strictly cruder than that.
+
+All checks run under the ``reference`` backend: invariants are about
+the physics of the model, and the differential fuzzer separately pins
+every other backend to the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.analysis.validate import check_traffic_oracles
+from repro.core.system import MultiChannelMemorySystem
+from repro.regression.fuzzer import FuzzCase
+
+#: Highest channel count the doubling check will step up to.
+MAX_CHECK_CHANNELS = 32
+
+#: Highest clock the doubling check will step up to, MHz (the device's
+#: validated range tops out at 533).
+MAX_CHECK_FREQ_MHZ = 533.0
+
+#: Relative rounding headroom on channel monotonicity for the
+#: contiguous shapes (cycle quantisation at block boundaries).
+CHANNEL_SLACK_REL = 0.05
+
+#: Traffic shapes whose chunks provably spread across channels under
+#: the Table II interleaving (contiguous block streams).  Strided and
+#: uniform-random shapes can alias onto a channel subset, where the
+#: doubling relation does not hold -- see the module docstring.
+CONTIGUOUS_KINDS = frozenset({"sequential", "alternating", "paced"})
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One metamorphic relation that failed to hold."""
+
+    invariant: str
+    case: FuzzCase
+    detail: str
+    repro: str
+
+    def describe(self) -> str:
+        """Multi-line report: invariant, case, evidence, repro."""
+        return (
+            f"invariant '{self.invariant}' violated on {self.case.describe()}:\n"
+            f"  {self.detail}\n"
+            f"  repro: {self.repro}"
+        )
+
+
+def _access_time_ns(case: FuzzCase) -> float:
+    system = MultiChannelMemorySystem(case.config.with_backend("reference"))
+    return system.run(list(case.transactions)).sample_access_time_ns
+
+
+def check_channel_monotonicity(case: FuzzCase) -> List[InvariantViolation]:
+    """Doubling the channel count must not increase access time
+    (contiguous traffic shapes; :data:`CHANNEL_SLACK_REL` headroom)."""
+    if case.kind not in CONTIGUOUS_KINDS:
+        return []
+    if case.config.channels * 2 > MAX_CHECK_CHANNELS:
+        return []
+    base = _access_time_ns(case)
+    doubled_case = replace(
+        case, config=case.config.with_channels(case.config.channels * 2)
+    )
+    doubled = _access_time_ns(doubled_case)
+    if doubled > base * (1.0 + CHANNEL_SLACK_REL):
+        return [
+            InvariantViolation(
+                invariant="channel monotonicity",
+                case=case,
+                detail=(
+                    f"{case.config.channels} -> {case.config.channels * 2} "
+                    f"channels slowed the run: {base:.1f} ns -> {doubled:.1f} ns"
+                ),
+                repro=case.repro(),
+            )
+        ]
+    return []
+
+
+def check_frequency_monotonicity(case: FuzzCase) -> List[InvariantViolation]:
+    """Doubling the interface clock must not increase access time."""
+    if case.config.freq_mhz * 2 > MAX_CHECK_FREQ_MHZ:
+        return []
+    base = _access_time_ns(case)
+    faster_case = replace(
+        case, config=case.config.with_frequency(case.config.freq_mhz * 2)
+    )
+    faster = _access_time_ns(faster_case)
+    if faster > base:
+        return [
+            InvariantViolation(
+                invariant="frequency monotonicity",
+                case=case,
+                detail=(
+                    f"{case.config.freq_mhz:g} -> {case.config.freq_mhz * 2:g} "
+                    f"MHz slowed the run: {base:.1f} ns -> {faster:.1f} ns"
+                ),
+                repro=case.repro(),
+            )
+        ]
+    return []
+
+
+def check_prefix_consistency(case: FuzzCase) -> List[InvariantViolation]:
+    """A traffic prefix must not finish later than the full stream."""
+    if len(case.transactions) < 2:
+        return []
+    prefix_case = replace(
+        case, transactions=case.transactions[: len(case.transactions) // 2]
+    )
+    full = _access_time_ns(case)
+    prefix = _access_time_ns(prefix_case)
+    if prefix > full:
+        return [
+            InvariantViolation(
+                invariant="prefix consistency",
+                case=case,
+                detail=(
+                    f"prefix of {len(prefix_case.transactions)} txns finished "
+                    f"at {prefix:.1f} ns, after the full "
+                    f"{len(case.transactions)}-txn stream's {full:.1f} ns"
+                ),
+                repro=case.repro(),
+            )
+        ]
+    return []
+
+
+def check_oracles(case: FuzzCase) -> List[InvariantViolation]:
+    """Run the validation oracles on the case's own configuration.
+
+    Protocol audit always; locality only under open page (the static
+    analyzer's domain); the whole-stream analytic oracle never -- the
+    fuzzer's backend differential covers the closed form with a model
+    that actually sees per-channel streams and arrival gaps.
+    """
+    checks = check_traffic_oracles(
+        case.transactions,
+        case.config.with_backend("reference"),
+        analytic_tolerance=None,
+        include_locality=case.config.page_policy.keeps_rows_open,
+    )
+    return [
+        InvariantViolation(
+            invariant=f"oracle: {check.name}",
+            case=case,
+            detail=check.detail,
+            repro=case.repro(),
+        )
+        for check in checks
+        if not check.passed
+    ]
+
+
+def check_case_invariants(case: FuzzCase) -> List[InvariantViolation]:
+    """Every metamorphic relation and oracle for one case."""
+    violations: List[InvariantViolation] = []
+    violations.extend(check_channel_monotonicity(case))
+    violations.extend(check_frequency_monotonicity(case))
+    violations.extend(check_prefix_consistency(case))
+    violations.extend(check_oracles(case))
+    return violations

@@ -52,3 +52,18 @@ class TestValidation:
     def test_rejects_bad_margin(self):
         with pytest.raises(ConfigurationError):
             realtime_verdict(1.0, 33.0, margin=1.0)
+
+    @pytest.mark.parametrize(
+        "access_time", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_non_finite_access_time(self, access_time):
+        # A NaN access time compares False against every threshold and
+        # would otherwise fall through to PASS -- the one verdict a
+        # corrupted measurement must never earn.
+        with pytest.raises(ConfigurationError, match="finite"):
+            realtime_verdict(access_time, 33.333)
+
+    @pytest.mark.parametrize("period", [float("nan"), float("inf")])
+    def test_rejects_non_finite_period(self, period):
+        with pytest.raises(ConfigurationError, match="finite"):
+            realtime_verdict(20.0, period)

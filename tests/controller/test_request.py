@@ -40,6 +40,19 @@ class TestMasterTransaction:
         with pytest.raises(ConfigurationError):
             MasterTransaction(Op.READ, 0, 16, arrival_ns=-1.0)
 
+    @pytest.mark.parametrize(
+        "stamp", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_non_finite_arrival(self, stamp):
+        # NaN sails through `< 0` (every NaN comparison is False), so
+        # the constructor must check finiteness explicitly.
+        with pytest.raises(ConfigurationError, match="finite"):
+            MasterTransaction(Op.READ, 0, 16, arrival_ns=stamp)
+
+    def test_accepts_none_and_zero_arrival(self):
+        assert MasterTransaction(Op.READ, 0, 16, arrival_ns=None).arrival_ns is None
+        assert MasterTransaction(Op.READ, 0, 16, arrival_ns=0.0).arrival_ns == 0.0
+
     def test_chunk_span_aligned(self):
         txn = MasterTransaction(Op.READ, 0, 64)
         assert list(txn.chunk_span()) == [0, 1, 2, 3]

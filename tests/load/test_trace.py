@@ -13,7 +13,10 @@ transactions_strategy = st.lists(
         op=st.sampled_from([Op.READ, Op.WRITE]),
         address=st.integers(min_value=0, max_value=2**40),
         size=st.integers(min_value=1, max_value=2**20),
-        arrival_ns=st.sampled_from([0.0, 12.5, 1000.0]),
+        # None (backlogged, field omitted) alongside explicit stamps --
+        # including 0.0, which must round-trip as a real timestamp --
+        # and a float that needs repr() precision to survive.
+        arrival_ns=st.sampled_from([None, 0.0, 12.5, 1000.0, 1670.5952745453149]),
     ),
     max_size=50,
 )
@@ -51,6 +54,44 @@ class TestRoundTrip:
         assert txns[0].address == 16
         assert txns[1].arrival_ns == 5.0
 
+    def test_explicit_zero_arrival_survives(self, tmp_path):
+        # 0.0 is a real timestamp, not a missing field: it must be
+        # written out and come back as 0.0, not as None.
+        path = tmp_path / "t.trace"
+        write_trace(path, [MasterTransaction(Op.READ, 0, 16, arrival_ns=0.0)])
+        assert "R 0x0 16 0.0" in path.read_text()
+        assert read_trace(path)[0].arrival_ns == 0.0
+
+    def test_backlogged_arrival_omits_field(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, [MasterTransaction(Op.READ, 0, 16, arrival_ns=None)])
+        data_lines = [
+            line
+            for line in path.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert data_lines == ["R 0x0 16"]
+        assert read_trace(path)[0].arrival_ns is None
+
+    @given(transactions_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_write_read_write_is_byte_identical(self, txns):
+        import os
+        import tempfile
+
+        fd1, path1 = tempfile.mkstemp(suffix=".trace")
+        fd2, path2 = tempfile.mkstemp(suffix=".trace")
+        os.close(fd1)
+        os.close(fd2)
+        try:
+            write_trace(path1, txns)
+            write_trace(path2, read_trace(path1))
+            with open(path1, "rb") as a, open(path2, "rb") as b:
+                assert a.read() == b.read()
+        finally:
+            os.unlink(path1)
+            os.unlink(path2)
+
 
 class TestParsing:
     def test_hex_and_decimal_addresses(self):
@@ -82,6 +123,29 @@ class TestParsing:
     def test_error_carries_line_number(self):
         with pytest.raises(TraceFormatError, match="line 7"):
             parse_trace_line("R nope 16", lineno=7)
+
+    @pytest.mark.parametrize(
+        "stamp", ["nan", "NaN", "inf", "-inf", "Infinity", "1e999"]
+    )
+    def test_non_finite_arrival_rejected(self, stamp):
+        # float() happily parses every one of these spellings (1e999
+        # overflows to inf), and NaN beats any < 0 range check because
+        # every NaN comparison is False -- the parser must test
+        # isfinite explicitly.
+        with pytest.raises(TraceFormatError, match="finite"):
+            parse_trace_line(f"R 0x100 16 {stamp}", lineno=3)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(TraceFormatError, match="arrival_ns"):
+            parse_trace_line("R 0x100 16 -1.0", lineno=4)
+
+    def test_negative_address_rejected_with_line(self):
+        with pytest.raises(TraceFormatError, match="line 5"):
+            parse_trace_line("R -16 16", lineno=5)
+
+    def test_negative_size_rejected_with_line(self):
+        with pytest.raises(TraceFormatError, match="line 6"):
+            parse_trace_line("R 0x10 -4", lineno=6)
 
 
 class TestMalformedFiles:

@@ -1,0 +1,74 @@
+"""Tests for the metamorphic invariant checks."""
+
+from dataclasses import replace
+
+from repro.regression import (
+    check_case_invariants,
+    check_channel_monotonicity,
+    check_frequency_monotonicity,
+    check_prefix_consistency,
+    generate_case,
+    generate_cases,
+)
+from repro.regression.invariants import (
+    CONTIGUOUS_KINDS,
+    MAX_CHECK_CHANNELS,
+    MAX_CHECK_FREQ_MHZ,
+    InvariantViolation,
+)
+
+
+class TestDomainGates:
+    def test_channel_check_skips_non_contiguous_kinds(self):
+        # Strided/random traffic can alias onto a channel subset where
+        # doubling genuinely does not help -- out of the invariant's
+        # domain, so the check must skip, not fail.
+        case = next(
+            c for c in generate_cases(0, 40) if c.kind not in CONTIGUOUS_KINDS
+        )
+        assert check_channel_monotonicity(case) == []
+
+    def test_channel_check_skips_at_channel_ceiling(self):
+        case = next(c for c in generate_cases(0, 40) if c.kind == "sequential")
+        wide = replace(
+            case, config=case.config.with_channels(MAX_CHECK_CHANNELS)
+        )
+        assert check_channel_monotonicity(wide) == []
+
+    def test_frequency_check_skips_above_device_range(self):
+        case = generate_case(0, 0)
+        fast_clock = replace(
+            case, config=case.config.with_frequency(MAX_CHECK_FREQ_MHZ)
+        )
+        assert check_frequency_monotonicity(fast_clock) == []
+
+    def test_prefix_check_skips_single_transaction(self):
+        case = generate_case(0, 0)
+        single = replace(case, transactions=case.transactions[:1])
+        assert check_prefix_consistency(single) == []
+
+
+class TestInvariantsHold:
+    def test_generated_cases_satisfy_all_invariants(self):
+        # The real engine must satisfy its own physics on a seeded
+        # sample; the full campaign runs under ``repro-sim fuzz``.
+        for case in generate_cases(13, 6):
+            violations = check_case_invariants(case)
+            assert violations == [], "\n".join(
+                v.describe() for v in violations
+            )
+
+
+class TestViolationReporting:
+    def test_describe_names_invariant_and_repro(self):
+        case = generate_case(0, 0)
+        violation = InvariantViolation(
+            invariant="channel monotonicity",
+            case=case,
+            detail="2 -> 4 channels slowed the run: 10.0 ns -> 20.0 ns",
+            repro=case.repro(),
+        )
+        text = violation.describe()
+        assert "channel monotonicity" in text
+        assert "slowed the run" in text
+        assert "repro: channels=" in text

@@ -273,3 +273,74 @@ class TestBackendFlags:
              "--prescreen", "analytic"]
         ) == 0
         assert "minimum channels" in capsys.readouterr().out
+
+
+class TestRegressionSubcommands:
+    def test_verify_paper_passes_on_clean_tree(self, capsys):
+        assert main(["verify-paper"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "cells within tolerance" in out
+
+    def test_verify_paper_screening_backend_widens(self, capsys):
+        assert main(["--backend", "analytic", "verify-paper"]) == 0
+        assert "backend=analytic" in capsys.readouterr().out
+
+    def test_verify_paper_update_writes_files(self, tmp_path, capsys):
+        assert main(
+            ["--budget", "3000", "verify-paper", "--update",
+             "--goldens", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        for name in ("table1", "table2", "fig3", "fig4", "fig5"):
+            assert (tmp_path / f"{name}.json").exists()
+        # And the freshly written goldens verify against themselves.
+        assert main(["verify-paper", "--goldens", str(tmp_path)]) == 0
+
+    def test_verify_paper_fails_on_mismatch(self, tmp_path, capsys):
+        import shutil
+        from pathlib import Path
+
+        fixture = (
+            Path(__file__).parent / "regression" / "fixtures" / "broken"
+        )
+        from repro.regression import PACKAGED_GOLDENS_DIR
+
+        for name in ("table2", "fig3", "fig4", "fig5"):
+            shutil.copy(PACKAGED_GOLDENS_DIR / f"{name}.json", tmp_path)
+        shutil.copy(fixture / "table1.json", tmp_path)
+        assert main(["verify-paper", "--goldens", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "MISMATCH" in out
+
+    def test_fuzz_small_campaign(self, capsys):
+        assert main(["fuzz", "--cases", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign seed=3: 5 cases" in out
+        assert out.rstrip().endswith("PASS")
+
+    def test_fuzz_single_backend_no_invariants(self, capsys):
+        assert main(
+            ["--backend", "fast", "fuzz", "--cases", "5", "--no-invariants"]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fuzz_repro_round_trip(self, capsys):
+        from repro.regression import generate_case
+
+        spec = generate_case(6, 0).repro()
+        assert main(["fuzz", "--repro", spec]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fuzz_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["--metrics-out", str(path), "fuzz", "--cases", "4"]
+        ) == 0
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["counters"]["regression.cases"] == 4
+        assert payload["counters"]["regression.mismatches"] == 0
