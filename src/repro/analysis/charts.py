@@ -63,9 +63,12 @@ def hbar_chart(
             f"{label.ljust(label_w)}  {value:8.1f}{unit}  {bar}"
         )
     if reference is not None:
+        # The caret must sit under the ``|`` marker, so the footer
+        # prefix mirrors the bar rows' full prefix -- label, gap,
+        # 8-column value, *unit*, gap -- before the ref_col offset.
+        prefix_w = label_w + 2 + 8 + len(unit) + 2
         lines.append(
-            f"{'':{label_w}}  {'':>8}   "
-            + " " * ref_col
+            " " * (prefix_w + ref_col)
             + f"^ {reference[0]} = {reference[1]:g}{unit}"
         )
     return "\n".join(lines)

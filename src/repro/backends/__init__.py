@@ -2,9 +2,10 @@
 
 One :class:`~repro.backends.base.ChannelBackend` sits behind
 :class:`~repro.core.system.MultiChannelMemorySystem`, the sweep
-runners and the CLI; ``reference``, ``fast`` and ``analytic`` ship
-built in (see :mod:`repro.backends.registry` for the trade-offs and
-how to register a custom backend).
+runners and the CLI; ``reference``, ``fast``, ``batch`` (needs the
+numpy extra) and ``analytic`` ship built in (see
+:mod:`repro.backends.registry` for the trade-offs and how to register
+a custom backend).
 
 This package imports only the protocol and the registry -- concrete
 backends load lazily on first use.

@@ -9,7 +9,7 @@ interleaver produces for one channel and return
 :class:`~repro.controller.engine.ChannelResult`-compatible timing,
 command and state data.
 
-Three fidelity levels ship with the package (see
+Four fidelity levels ship with the package (see
 :mod:`repro.backends.registry`):
 
 ``reference``
@@ -22,6 +22,15 @@ Three fidelity levels ship with the package (see
     refresh and power-down boundaries.  Bit-identical to ``reference``
     on every stream (the batch closed form is applied only when it is
     provably exact), several times faster on streaming traffic.
+``batch``
+    The same provably-exact batching fed by a numpy-vectorized segment
+    decode that is cached across sweep points (the decode depends only
+    on the access stream and address mapping, not on the clock), plus
+    a proof-gated skip of dead command-queue bookkeeping.  Bit-identical
+    to ``reference``, an order of magnitude faster on the paper's
+    sweeps.  Needs the ``repro[batch]`` numpy extra; selecting the name
+    is always legal, building an engine without numpy raises
+    :class:`~repro.errors.ConfigurationError`.
 ``analytic``
     The closed-form model promoted to a full backend: O(runs) instead
     of O(bursts), within its documented tolerance of the reference

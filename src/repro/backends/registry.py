@@ -39,6 +39,7 @@ _BUILTIN: Dict[str, Tuple[str, str]] = {
     "reference": ("repro.backends.reference", "ReferenceBackend"),
     "fast": ("repro.backends.fast", "FastBackend"),
     "analytic": ("repro.backends.analytic", "AnalyticBackend"),
+    "batch": ("repro.backends.batch", "BatchBackend"),
 }
 
 #: Instantiated backends (built-ins land here on first resolution).

@@ -497,15 +497,20 @@ def run_fuzz(
     """Run a differential-fuzzing campaign.
 
     ``backends`` defaults to every built-in backend other than the
-    reference itself (``fast``, ``analytic``).  ``check_invariants``
+    reference itself: ``fast``, ``analytic``, and -- when the numpy
+    optional extra is installed -- ``batch``.  ``check_invariants``
     additionally evaluates the metamorphic oracles of
     :mod:`repro.regression.invariants` on every case.  ``telemetry``
     counts ``regression.cases`` and ``regression.mismatches``.
     """
+    import importlib.util
+
     from repro.regression.invariants import check_case_invariants
 
     if backends is None:
         backends = ("fast", "analytic")
+        if importlib.util.find_spec("numpy") is not None:
+            backends = backends + ("batch",)
     from repro.backends.registry import get_backend
 
     resolved = {name: get_backend(name) for name in backends}

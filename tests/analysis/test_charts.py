@@ -42,6 +42,23 @@ class TestHbarChart:
         lines = out.split("\n")
         assert lines[0].index("1.0") == lines[1].index("2.0")
 
+    @pytest.mark.parametrize("unit", ["", " ms", " mW"])
+    def test_reference_caret_aligns_with_marker(self, unit):
+        # The footer caret must sit in the same column as the ``|``
+        # marker drawn through the bars, whatever the unit width.
+        out = hbar_chart(
+            [("a", 10.0), ("b", 30.0)],
+            width=30,
+            reference=("limit", 20.0),
+            unit=unit,
+        )
+        lines = out.split("\n")
+        marker_cols = {
+            line.index("|") for line in lines[:-1] if "|" in line
+        }
+        assert len(marker_cols) == 1
+        assert lines[-1].index("^") == marker_cols.pop()
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             hbar_chart([], width=20)

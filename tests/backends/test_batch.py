@@ -1,0 +1,102 @@
+"""Batch-backend specifics: numpy gating, decode cache, fallbacks.
+
+Cross-backend parity/registry/checkpoint behaviour lives in the
+sibling suites (parametrized over ``batch``); this file pins what is
+unique to the batch engine -- the optional-dependency error path, the
+cross-point decode cache, and the exact-fallback paths that delegate
+to the reference stepper.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="batch backend needs numpy")
+
+from repro.backends import batch as batch_module
+from repro.backends.registry import get_backend
+from repro.controller.mapping import AddressMultiplexing
+from repro.core.channel import Channel
+from repro.core.config import PagePolicy, SystemConfig
+from repro.errors import AddressError, ConfigurationError
+
+RUNS = [(0, 0, 512), (1, 4096, 512), (0, 64, 256)]
+
+
+@pytest.fixture
+def fresh_cache():
+    batch_module.clear_decode_cache()
+    yield
+    batch_module.clear_decode_cache()
+
+
+class TestNumpyGating:
+    def test_create_without_numpy_raises_configuration_error(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "_np", None)
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_backend("batch").create(SystemConfig(backend="batch"))
+        message = str(excinfo.value)
+        assert "numpy" in message
+        assert "repro[batch]" in message
+        # The error must point at working alternatives.
+        for name in ("reference", "fast", "analytic"):
+            assert name in message
+
+    def test_registry_entry_resolves_without_numpy(self, monkeypatch):
+        # Selecting the name must stay cheap and legal without numpy;
+        # only *creating* an engine requires the extra.
+        monkeypatch.setattr(batch_module, "_np", None)
+        config = SystemConfig(backend="batch")
+        assert config.backend == "batch"
+
+
+class TestDecodeCache:
+    def test_sweep_points_share_one_decode(self, fresh_cache):
+        config = SystemConfig(channels=1, backend="batch")
+        for freq in (200.0, 266.0, 333.0, 400.0):
+            Channel(config.with_frequency(freq)).run(RUNS)
+        stats = batch_module.decode_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 3
+
+    def test_distinct_mappings_decode_separately(self, fresh_cache):
+        config = SystemConfig(channels=1, backend="batch")
+        Channel(config).run(RUNS)
+        remapped = SystemConfig(
+            channels=1,
+            backend="batch",
+            multiplexing=AddressMultiplexing.BRC,
+        )
+        Channel(remapped).run(RUNS)
+        stats = batch_module.decode_cache_stats()
+        assert stats["misses"] == 2
+
+    def test_cache_is_bounded(self, fresh_cache):
+        config = SystemConfig(channels=1, backend="batch")
+        for i in range(batch_module.DECODE_CACHE_SIZE + 4):
+            Channel(config).run([(0, i * 16, 64)])
+        assert len(batch_module._DECODE_CACHE) == batch_module.DECODE_CACHE_SIZE
+
+
+class TestFallbacks:
+    def test_closed_page_falls_back_to_reference_loop(self):
+        config = SystemConfig(
+            channels=1, page_policy=PagePolicy.CLOSED, backend="batch"
+        )
+        ref = Channel(config.with_backend("reference")).run(RUNS)
+        out = Channel(config).run(RUNS)
+        assert out == ref
+
+    def test_invariant_checking_engine_matches_reference(self):
+        config = SystemConfig(channels=1, backend="batch")
+        engine = get_backend("batch").create(config)
+        engine.check_invariants = True
+        ref = Channel(config.with_backend("reference")).run(RUNS)
+        assert engine.run(RUNS) == ref
+
+    def test_capacity_error_matches_reference_message(self):
+        config = SystemConfig(channels=1, backend="batch")
+        huge = [(0, 0, 1 << 40)]
+        with pytest.raises(AddressError) as batch_err:
+            Channel(config).run(huge)
+        with pytest.raises(AddressError) as ref_err:
+            Channel(config.with_backend("reference")).run(huge)
+        assert str(batch_err.value) == str(ref_err.value)

@@ -50,6 +50,16 @@ class TestBackendMixingGuard:
         assert "fast" in message
         assert "--force" in message or "checkpoint_force" in message
 
+    def test_mixing_refusal_names_batch(self, tmp_path, level, configs):
+        pytest.importorskip("numpy", reason="batch backend needs numpy")
+        path = tmp_path / "sweep.ckpt"
+        _sweep(level, configs, path, backend="batch")
+        with pytest.raises(CheckpointError) as excinfo:
+            _sweep(level, configs, path, backend="reference")
+        message = str(excinfo.value)
+        assert "batch" in message
+        assert "reference" in message
+
     def test_force_allows_mixing(self, tmp_path, level, configs):
         path = tmp_path / "sweep.ckpt"
         _sweep(level, configs, path, backend="reference")

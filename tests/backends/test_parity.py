@@ -1,16 +1,23 @@
-"""Backend parity: fast vs reference (exact) and analytic (tolerance).
+"""Backend parity: fast/batch vs reference (exact), analytic (tolerance).
 
 The contracts pinned here are the ones docs/architecture.md (Backends)
 documents:
 
-- ``fast`` returns *identical command counts* and access time within
-  1 % of ``reference`` (it is in fact designed to be bit-identical --
-  one test pins the stronger property on a full streaming frame);
+- ``fast`` and ``batch`` return *identical command counts* and access
+  time within 1 % of ``reference`` (both are in fact designed to be
+  bit-identical -- one test class pins the stronger property on a full
+  streaming frame);
 - ``analytic`` tracks the reference access time within 15 % on the
   paper's streaming workloads;
-- both hold across the Fig. 3 frequency sweep and the Fig. 4 format
+- all hold across the Fig. 3 frequency sweep and the Fig. 4 format
   sweep configurations.
+
+``batch`` needs numpy (the ``repro[batch]`` extra); its cases skip
+when numpy is absent rather than fail, matching the optional-extra
+contract.
 """
+
+import importlib.util
 
 import pytest
 
@@ -30,7 +37,16 @@ PARITY_BUDGET = 20_000
 #: Documented analytic access-time tolerance (docs/architecture.md).
 ANALYTIC_TOLERANCE = 0.15
 
+needs_numpy = pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
+    reason="batch backend needs the numpy optional extra",
+)
+
+#: The backends documented as bit-identical to the reference.
+EXACT_BACKENDS = ["fast", pytest.param("batch", marks=needs_numpy)]
+
 _TRAFFIC_CACHE = {}
+_RESULT_CACHE = {}
 
 
 def _frame_traffic(level_name):
@@ -44,9 +60,15 @@ def _frame_traffic(level_name):
 
 
 def _run(level_name, config, backend):
-    txns, scale = _frame_traffic(level_name)
-    system = MultiChannelMemorySystem(config.with_backend(backend))
-    return system.run(txns, scale=scale)
+    # Results are pure values and the sweep axes repeat across test
+    # classes, so memoise: three exact backends over the same grid
+    # would otherwise re-run the slow reference point per comparison.
+    key = (level_name, config.channels, config.freq_mhz, backend)
+    if key not in _RESULT_CACHE:
+        txns, scale = _frame_traffic(level_name)
+        system = MultiChannelMemorySystem(config.with_backend(backend))
+        _RESULT_CACHE[key] = system.run(txns, scale=scale)
+    return _RESULT_CACHE[key]
 
 
 #: Fig. 3 axis: the single-channel frequency sweep on 720p30.
@@ -67,17 +89,18 @@ SWEEP_IDS = [
 ]
 
 
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
 @pytest.mark.parametrize("level_name, config", SWEEP, ids=SWEEP_IDS)
-class TestFastParity:
-    def test_identical_command_counts(self, level_name, config):
+class TestExactParity:
+    def test_identical_command_counts(self, level_name, config, backend):
         ref = _run(level_name, config, "reference")
-        fast = _run(level_name, config, "fast")
-        assert fast.merged_counters().as_dict() == ref.merged_counters().as_dict()
+        out = _run(level_name, config, backend)
+        assert out.merged_counters().as_dict() == ref.merged_counters().as_dict()
 
-    def test_access_time_within_one_percent(self, level_name, config):
+    def test_access_time_within_one_percent(self, level_name, config, backend):
         ref = _run(level_name, config, "reference")
-        fast = _run(level_name, config, "fast")
-        assert fast.access_time_ms == pytest.approx(ref.access_time_ms, rel=0.01)
+        out = _run(level_name, config, backend)
+        assert out.access_time_ms == pytest.approx(ref.access_time_ms, rel=0.01)
 
 
 @pytest.mark.parametrize("level_name, config", SWEEP, ids=SWEEP_IDS)
@@ -99,9 +122,10 @@ class TestAnalyticParity:
         assert counters_ana.writes == counters_ref.writes
 
 
-class TestFastBitIdentity:
-    """The stronger property the design actually delivers: the fast
-    engine's batching is applied only when provably exact, so whole
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+class TestBitIdentity:
+    """The stronger property the design actually delivers: fast and
+    batch apply their shortcuts only when provably exact, so whole
     results -- finish cycles, per-bank balance, power-state residencies
     -- match the reference bit for bit."""
 
@@ -114,25 +138,25 @@ class TestFastBitIdentity:
         ],
         ids=["1ch-400", "4ch-200", "4ch-533"],
     )
-    def test_full_result_identical(self, config):
+    def test_full_result_identical(self, config, backend):
         ref = _run("4", config, "reference")
-        fast = _run("4", config, "fast")
-        assert fast.access_time_ms == ref.access_time_ms
-        assert fast.engine_stats() == ref.engine_stats()
-        for ch_ref, ch_fast in zip(ref.channels, fast.channels):
-            assert ch_fast.finish_cycle == ch_ref.finish_cycle
-            assert ch_fast.data_cycles == ch_ref.data_cycles
-            assert ch_fast.counters.as_dict() == ch_ref.counters.as_dict()
-            assert ch_fast.bank_accesses == ch_ref.bank_accesses
-            assert ch_fast.states == ch_ref.states
+        out = _run("4", config, backend)
+        assert out.access_time_ms == ref.access_time_ms
+        assert out.engine_stats() == ref.engine_stats()
+        for ch_ref, ch_out in zip(ref.channels, out.channels):
+            assert ch_out.finish_cycle == ch_ref.finish_cycle
+            assert ch_out.data_cycles == ch_ref.data_cycles
+            assert ch_out.counters.as_dict() == ch_ref.counters.as_dict()
+            assert ch_out.bank_accesses == ch_ref.bank_accesses
+            assert ch_out.states == ch_ref.states
 
-    def test_command_log_identical(self):
-        """With a command log attached the fast engine falls back to
+    def test_command_log_identical(self, backend):
+        """With a command log attached the engine falls back to
         stepping, so the logged command stream matches exactly."""
         config = SystemConfig(channels=1, freq_mhz=400.0)
         runs = [(0, 0, 512), (1, 4096, 512), (0, 64, 256)]
-        ref_log, fast_log = [], []
+        ref_log, out_log = [], []
         Channel(config.with_backend("reference")).run(runs, command_log=ref_log)
-        Channel(config.with_backend("fast")).run(runs, command_log=fast_log)
-        assert fast_log == ref_log
+        Channel(config.with_backend(backend)).run(runs, command_log=out_log)
+        assert out_log == ref_log
         assert len(ref_log) > 0

@@ -18,7 +18,7 @@ from repro.errors import ConfigurationError
 class TestBuiltins:
     def test_builtins_listed(self):
         names = available_backends()
-        for name in ("reference", "fast", "analytic"):
+        for name in ("reference", "fast", "analytic", "batch"):
             assert name in names
 
     def test_get_backend_caches(self):
@@ -34,6 +34,11 @@ class TestBuiltins:
         analytic = get_backend("analytic")
         assert analytic.name == "analytic"
         assert not analytic.supports_command_log
+        batch = get_backend("batch")
+        assert batch.name == "batch"
+        assert batch.supports_command_log
+        assert batch.reference_tolerance == 0.0
+        assert batch.bit_identical
 
     def test_default_is_reference_out_of_the_box(self, pytestconfig):
         if pytestconfig.getoption("--backend"):
@@ -47,7 +52,7 @@ class TestErrorPaths:
             get_backend("warp-drive")
         message = str(excinfo.value)
         assert "warp-drive" in message
-        for name in ("reference", "fast", "analytic"):
+        for name in ("reference", "fast", "analytic", "batch"):
             assert name in message
 
     def test_validate_rejects_non_string(self):

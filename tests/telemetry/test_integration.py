@@ -151,6 +151,64 @@ class TestSweepTelemetry:
         assert events[0].resumed == 1
         assert events[0].finished
 
+    def test_first_interval_excludes_resume_scan_and_setup(
+        self, tmp_path, monkeypatch
+    ):
+        # The first ``sweep.point_interval_seconds`` sample must
+        # measure point throughput from dispatch start, not absorb the
+        # checkpoint resume scan or pool setup done before dispatch.
+        # Fake clock: frozen except where the wrappers below advance
+        # it, so any pre-dispatch second billed to a point is visible.
+        import time as time_module
+
+        from repro.analysis import sweep as sweep_module
+        from repro.resilience.checkpoint import SweepCheckpoint
+
+        checkpoint = tmp_path / "sweep.ckpt"
+        sweep_use_case(
+            [LEVEL],
+            [CONFIG, CONFIG.with_frequency(200.0)],
+            scale=SCALE,
+            checkpoint=checkpoint,
+        )
+        # Drop one point so the resumed sweep still computes work (a
+        # fully warm sweep records no interval samples at all).
+        lines = checkpoint.read_text().splitlines()
+        checkpoint.write_text("\n".join(lines[:1]) + "\n")
+
+        clock = [1000.0]
+        monkeypatch.setattr(time_module, "monotonic", lambda: clock[0])
+
+        real_load = SweepCheckpoint.load
+
+        def slow_load(self):
+            clock[0] += 100.0  # pretend the resume scan took 100 s
+            return real_load(self)
+
+        monkeypatch.setattr(SweepCheckpoint, "load", slow_load)
+
+        real_resolve = sweep_module.resolve_workers
+
+        def slow_setup(*args, **kwargs):
+            clock[0] += 50.0  # pretend pre-dispatch setup took 50 s
+            return real_resolve(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_module, "resolve_workers", slow_setup)
+
+        telemetry = Telemetry.enabled()
+        sweep_use_case(
+            [LEVEL],
+            [CONFIG, CONFIG.with_frequency(200.0)],
+            scale=SCALE,
+            checkpoint=checkpoint,
+            telemetry=telemetry,
+        )
+        stats = telemetry.registry.as_dict()
+        assert stats["counters"]["sweep.points_resumed"] == 1
+        intervals = stats["histograms"]["sweep.point_interval_seconds"]
+        assert intervals["count"] == 1
+        assert intervals["max"] < 50.0
+
     def test_sweep_results_bit_identical_with_telemetry(self):
         plain = sweep_use_case([LEVEL], [CONFIG], scale=SCALE)
         tapped = sweep_use_case(
