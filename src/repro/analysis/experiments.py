@@ -184,6 +184,8 @@ def run_fig3(
     progress: Optional[ProgressSink] = None,
     backend: Optional[str] = None,
     checkpoint_force: bool = False,
+    point_timeout: Optional[float] = None,
+    durable_checkpoint: bool = False,
 ) -> Fig3Result:
     """Regenerate Fig. 3: sweep the interface clock for the least
     demanding HD level (3.1: 720p at 30 fps) over 1-8 channels.
@@ -193,8 +195,12 @@ def run_fig3(
     ``backend`` selects the simulation backend for every point (see
     :mod:`repro.backends`).  ``checkpoint`` resumes an interrupted
     sweep from a JSON-lines file (``checkpoint_force`` permits mixing
-    backends in one file); ``strict=False`` renders failed points as
-    ERR cells instead of raising."""
+    backends in one file, ``durable_checkpoint`` fsyncs every append);
+    ``strict=False`` renders failed points as ERR cells instead of
+    raising; ``point_timeout`` puts every point under watchdog
+    supervision (hung points are killed, requeued and eventually
+    quarantined as ERR cells -- see
+    :func:`repro.analysis.sweep.sweep_use_case`)."""
     level = level_by_name("3.1")
     base = base_config if base_config is not None else SystemConfig()
     kwargs = {} if chunk_budget is None else {"chunk_budget": chunk_budget}
@@ -214,6 +220,8 @@ def run_fig3(
         progress=progress,
         backend=backend,
         checkpoint_force=checkpoint_force,
+        point_timeout=point_timeout,
+        durable_checkpoint=durable_checkpoint,
         **kwargs,
     )
     access: Dict[float, Dict[int, float]] = {}
@@ -322,6 +330,8 @@ def run_fig4(
     progress: Optional[ProgressSink] = None,
     backend: Optional[str] = None,
     checkpoint_force: bool = False,
+    point_timeout: Optional[float] = None,
+    durable_checkpoint: bool = False,
 ) -> Fig4Result:
     """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock.
 
@@ -329,9 +339,10 @@ def run_fig4(
     worker processes (0 = one per CPU); results are identical.
     ``backend`` selects the simulation backend for every point.
     ``checkpoint`` resumes an interrupted sweep from a JSON-lines
-    file (``checkpoint_force`` permits mixing backends in one file);
-    ``strict=False`` renders failed points as ERR cells instead
-    of raising."""
+    file (``checkpoint_force`` permits mixing backends in one file,
+    ``durable_checkpoint`` fsyncs every append); ``strict=False``
+    renders failed points as ERR cells instead of raising;
+    ``point_timeout`` puts every point under watchdog supervision."""
     base = (base_config if base_config is not None else SystemConfig()).with_frequency(
         freq_mhz
     )
@@ -347,6 +358,8 @@ def run_fig4(
         progress=progress,
         backend=backend,
         checkpoint_force=checkpoint_force,
+        point_timeout=point_timeout,
+        durable_checkpoint=durable_checkpoint,
         **kwargs,
     )
     points: Dict[str, Dict[int, SweepPoint]] = {}
@@ -468,6 +481,8 @@ def run_fig5(
     progress: Optional[ProgressSink] = None,
     backend: Optional[str] = None,
     checkpoint_force: bool = False,
+    point_timeout: Optional[float] = None,
+    durable_checkpoint: bool = False,
 ) -> Fig5Result:
     """Regenerate Fig. 5.  Shares Fig. 4's sweep (the paper derives
     both from the same simulations) -- including its checkpoint file,
@@ -487,6 +502,8 @@ def run_fig5(
             progress=progress,
             backend=backend,
             checkpoint_force=checkpoint_force,
+            point_timeout=point_timeout,
+            durable_checkpoint=durable_checkpoint,
         )
     )
 
@@ -547,6 +564,8 @@ def run_xdr_comparison(
     progress: Optional[ProgressSink] = None,
     backend: Optional[str] = None,
     checkpoint_force: bool = False,
+    point_timeout: Optional[float] = None,
+    durable_checkpoint: bool = False,
 ) -> XdrComparisonResult:
     """Compare the 8-channel configuration's power against the XDR
     reference across the encoding formats (Section IV).
@@ -567,6 +586,8 @@ def run_xdr_comparison(
             progress=progress,
             backend=backend,
             checkpoint_force=checkpoint_force,
+            point_timeout=point_timeout,
+            durable_checkpoint=durable_checkpoint,
         )
     config = SystemConfig(channels=channels, freq_mhz=freq_mhz)
     per_level: Dict[str, Tuple[float, float]] = {}

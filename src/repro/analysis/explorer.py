@@ -49,6 +49,7 @@ def minimum_channels(
     workers: Optional[int] = None,
     strict: bool = True,
     backend: Optional[str] = None,
+    point_timeout: Optional[float] = None,
 ) -> Optional[int]:
     """Smallest channel count meeting the level's real-time target.
 
@@ -64,7 +65,9 @@ def minimum_channels(
 
     ``strict=False`` degrades gracefully: a channel count whose
     simulation failed is skipped (treated as not demonstrably
-    feasible) instead of aborting the exploration.
+    feasible) instead of aborting the exploration.  ``point_timeout``
+    puts every evaluated point under watchdog supervision (and forces
+    the sweep path -- an in-process point cannot be preempted).
     """
     counts = sorted(channel_counts)
 
@@ -72,13 +75,18 @@ def minimum_channels(
         config = SystemConfig(channels=m, freq_mhz=freq_mhz)
         return config if backend is None else config.with_backend(backend)
 
-    if not strict or resolve_workers(workers, len(counts)) > 1:
+    if (
+        not strict
+        or point_timeout is not None
+        or resolve_workers(workers, len(counts)) > 1
+    ):
         points = sweep_use_case(
             [level],
             [config_for(m) for m in counts],
             chunk_budget=chunk_budget,
             workers=workers,
             strict=strict,
+            point_timeout=point_timeout,
         )
     else:
         points = (
@@ -108,6 +116,7 @@ def find_minimum_power_configuration(
     backend: Optional[str] = None,
     prescreen_backend: Optional[str] = None,
     prescreen_slack: float = 0.25,
+    point_timeout: Optional[float] = None,
 ) -> Optional[SweepPoint]:
     """Cheapest (by average power) PASS configuration for ``level``.
 
@@ -145,6 +154,7 @@ def find_minimum_power_configuration(
             workers=workers,
             strict=strict,
             backend=prescreen_backend,
+            point_timeout=point_timeout,
         )
         limit_ms = level.frame_period_ms * (1.0 + prescreen_slack)
         survivors = [
@@ -158,7 +168,7 @@ def find_minimum_power_configuration(
             configs = survivors
     points = sweep_use_case(
         [level], configs, chunk_budget=chunk_budget, workers=workers,
-        strict=strict,
+        strict=strict, point_timeout=point_timeout,
     )
     best: Optional[SweepPoint] = None
     for point in points:

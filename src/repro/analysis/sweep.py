@@ -46,6 +46,7 @@ from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.faults import maybe_inject
 from repro.resilience.report import JobFailure, SweepReport
 from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import Watchdog
 from repro.telemetry.profile import NULL_PROFILER
 from repro.telemetry.progress import ProgressSink, SweepProgress
 from repro.telemetry.session import Telemetry
@@ -173,13 +174,15 @@ def sweep_use_case(
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     workers: Optional[int] = None,
-    checkpoint: Optional[Union[str, Path]] = None,
+    checkpoint: Optional[Union[str, Path, SweepCheckpoint]] = None,
     strict: bool = True,
     retry: Optional[RetryPolicy] = None,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressSink] = None,
     backend: Optional[str] = None,
     checkpoint_force: bool = False,
+    point_timeout: Optional[float] = None,
+    durable_checkpoint: bool = False,
 ) -> SweepReport:
     """Cartesian sweep of levels x configurations.
 
@@ -192,18 +195,33 @@ def sweep_use_case(
     travels inside the (picklable) configs, so pool workers honour it
     without extra plumbing.
 
-    ``checkpoint`` names a JSON-lines file: completed points are
-    recorded as they finish, and points already present are skipped --
-    an interrupted sweep re-run with the same arguments recomputes
-    only the missing work.  Points are keyed by the full job
-    description *including the backend*, and a checkpoint holding
+    ``checkpoint`` names a JSON-lines file (or passes a prepared
+    :class:`~repro.resilience.checkpoint.SweepCheckpoint`): completed
+    points are recorded as they finish, and points already present are
+    skipped -- an interrupted sweep re-run with the same arguments
+    recomputes only the missing work.  Points are keyed by the full
+    job description *including the backend*, and a checkpoint holding
     points recorded under a different backend is refused with
     :class:`~repro.errors.CheckpointError` -- silently blending e.g.
     analytic estimates into a reference sweep would corrupt the
     figures; pass ``checkpoint_force=True`` (CLI ``--force``) to mix
-    deliberately.  ``strict=False`` captures per-point failures in the
-    report instead of raising; ``retry`` overrides the backoff
-    schedule for transient pool failures.
+    deliberately.  ``durable_checkpoint=True`` fsyncs every checkpoint
+    append (machine-crash durability; CLI ``--durable-checkpoint``).
+    ``strict=False`` captures per-point failures in the report instead
+    of raising; ``retry`` overrides the backoff schedule for transient
+    pool failures.
+
+    ``point_timeout`` puts every point under watchdog supervision
+    (CLI ``--point-timeout``): a point still running after that many
+    wall-clock seconds has its worker killed and is requeued, and a
+    point that hangs (or takes its worker down) on every permitted
+    attempt is quarantined -- an ERR cell in the figures under
+    ``strict=False``, a :class:`~repro.errors.WorkerError` naming the
+    point under ``strict=True``.  Quarantined failures are recorded
+    into the checkpoint, so a ``--resume`` yields the failure
+    immediately instead of re-hanging on the same point.  Supervision
+    counters (``sweep.timeouts``, ``sweep.watchdog_kills``,
+    ``sweep.quarantined``) land in ``telemetry`` when given.
 
     ``progress`` receives a heartbeat per completed point (and a final
     summary) as :class:`~repro.telemetry.ProgressEvent`\\ s with
@@ -229,9 +247,17 @@ def sweep_use_case(
         )
     ]
 
-    store = SweepCheckpoint(checkpoint) if checkpoint is not None else None
+    if isinstance(checkpoint, SweepCheckpoint):
+        store: Optional[SweepCheckpoint] = checkpoint
+        if durable_checkpoint:
+            store.fsync = True
+    elif checkpoint is not None:
+        store = SweepCheckpoint(checkpoint, fsync=durable_checkpoint)
+    else:
+        store = None
     results: List[Optional[SweepPoint]] = [None] * len(jobs)
     resumed = 0
+    resumed_failures: List[JobFailure] = []
     if store is not None:
         sweep_backends = {config.backend for config in configs}
         foreign = store.recorded_backends() - sweep_backends
@@ -246,12 +272,27 @@ def sweep_use_case(
             )
         keys = [store.key_for(job) for job in jobs]
         done = store.load()
+        covered = set()
         for position, key in enumerate(keys):
-            if key in done:
-                results[position] = done[key]
-                resumed += 1
+            if key not in done:
+                continue
+            covered.add(position)
+            resumed += 1
+            payload = done[key]
+            if isinstance(payload, JobFailure):
+                # A quarantined point from the previous run: yield the
+                # recorded failure instead of re-hanging on it.
+                resumed_failures.append(
+                    replace(
+                        payload,
+                        index=position,
+                        coords=_job_coords(jobs[position]),
+                    )
+                )
+            else:
+                results[position] = payload
         pending_positions = [
-            position for position in range(len(jobs)) if results[position] is None
+            position for position in range(len(jobs)) if position not in covered
         ]
     else:
         keys = []
@@ -298,10 +339,43 @@ def sweep_use_case(
             if tracker is not None:
                 tracker.point_done(_job_coords(jobs[position]))
 
+    on_failure = None
+    if store is not None:
+
+        def on_failure(local_index: int, failure: JobFailure) -> None:
+            if not failure.quarantined:
+                # Deterministic errors are recomputed on resume (the
+                # bug might be fixed by then); only quarantines -- the
+                # points that would re-hang -- are persisted.
+                return
+            position = pending_positions[local_index]
+            store.record(
+                keys[position],
+                _job_coords(jobs[position]),
+                replace(
+                    failure,
+                    index=position,
+                    coords=_job_coords(jobs[position]),
+                ),
+            )
+
+    watchdog = Watchdog(point_timeout) if point_timeout is not None else None
+    if telemetry is not None and watchdog is not None:
+        # Pre-register at zero so a clean supervised sweep still
+        # exports the supervision counters.
+        for name in ("sweep.timeouts", "sweep.watchdog_kills", "sweep.quarantined"):
+            telemetry.registry.counter(name).add(0)
+
     # Per-point telemetry (phase profile, engine counters) only works
     # in-process: a pool worker's mutations die with the worker.
+    # Supervision forces pooled execution even for one worker, so a
+    # supervised sweep never binds the telemetry session into the job.
     point_fn = _sweep_point_job
-    if telemetry is not None and resolve_workers(workers, max(1, len(pending_jobs))) <= 1:
+    if (
+        telemetry is not None
+        and point_timeout is None
+        and resolve_workers(workers, max(1, len(pending_jobs))) <= 1
+    ):
         point_fn = partial(_sweep_point_job, telemetry=telemetry)
 
     sweep_timer = (
@@ -320,11 +394,17 @@ def sweep_use_case(
         retry=retry,
         capture_failures=True,
         on_result=on_result,
+        on_failure=on_failure,
+        watchdog=watchdog,
     )
     if sweep_timer is not None:
         sweep_timer.record(time.perf_counter() - start)
+    if telemetry is not None and watchdog is not None:
+        telemetry.registry.counter("sweep.timeouts").add(watchdog.timeouts)
+        telemetry.registry.counter("sweep.watchdog_kills").add(watchdog.kills)
+        telemetry.registry.counter("sweep.quarantined").add(watchdog.quarantined)
 
-    failures: List[JobFailure] = []
+    failures: List[JobFailure] = list(resumed_failures)
     for local_index, outcome in enumerate(outcomes):
         position = pending_positions[local_index]
         if isinstance(outcome, JobFailure):
@@ -337,6 +417,7 @@ def sweep_use_case(
             )
         else:
             results[position] = outcome
+    failures.sort(key=lambda failure: failure.index)
 
     if telemetry is not None:
         telemetry.registry.counter("sweep.points_failed").add(len(failures))

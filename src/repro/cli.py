@@ -13,6 +13,7 @@ Usage::
     repro-sim profile fig3 [--freq 400]
     repro-sim verify-paper [--update] [--goldens DIR]
     repro-sim fuzz [--cases 100 --seed 0]
+    repro-sim chaos [--seeds 1,5,17]
     repro-sim all
 
 Every subcommand prints the regenerated table/figure as ASCII; pass
@@ -38,10 +39,22 @@ Fault tolerance (see :mod:`repro.resilience`):
   it finishes; add ``--resume`` to skip the points already recorded
   there, so an interrupted run recomputes only the missing work.
   Without ``--resume`` an existing checkpoint is truncated first.
+  ``--durable-checkpoint`` additionally fsyncs every append (machine-
+  crash durability, at a per-point latency cost).
+- ``--point-timeout SECONDS`` puts every sweep point under watchdog
+  supervision: a point still running after the deadline has its worker
+  killed and is requeued; a point that hangs on every permitted
+  attempt is quarantined -- an ERR cell under ``--no-strict``, an
+  error naming the point otherwise -- and recorded in the checkpoint
+  so ``--resume`` does not re-hang.
 - ``--no-strict`` degrades gracefully: failed sweep points render as
   ERR cells instead of aborting the artifact.
 - ``--check-invariants`` audits every simulated command stream against
   the DRAM datasheet timing (slower; a validation mode).
+- ``chaos`` runs the seeded chaos campaign: a real sweep under
+  randomized crash/stall/torn-write injection, asserting the final
+  report is bit-identical to an undisturbed run; exits non-zero on
+  divergence and prints the failing seed for reproduction.
 
 Observability (see :mod:`repro.telemetry`):
 
@@ -170,6 +183,26 @@ def _build_parser() -> argparse.ArgumentParser:
             "allow --resume to reuse checkpoint points recorded under a "
             "different --backend (normally refused: mixing backends in "
             "one checkpoint blends fidelities)"
+        ),
+    )
+    parser.add_argument(
+        "--durable-checkpoint",
+        action="store_true",
+        help=(
+            "fsync every checkpoint append (machine-crash durability; "
+            "requires --checkpoint; the default already survives the "
+            "process dying)"
+        ),
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock deadline per sweep point (watchdog supervision): "
+            "hung points are killed, requeued, and quarantined as ERR "
+            "cells when they hang on every attempt"
         ),
     )
     parser.add_argument(
@@ -333,6 +366,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay one failure repro string instead of a campaign",
     )
 
+    p_ch = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded chaos campaign: sweep under randomized "
+            "crash/stall/torn-write injection, assert bit-identity"
+        ),
+    )
+    p_ch.add_argument(
+        "--seeds",
+        type=str,
+        default="1,5,17",
+        metavar="LIST",
+        help="comma-separated campaign seeds (default: 1,5,17)",
+    )
+    p_ch.add_argument(
+        "--max-attempts",
+        type=int,
+        default=8,
+        metavar="N",
+        help="resume attempts per seed before giving up (default: 8)",
+    )
+
     sub.add_parser("all", help="run every artifact in paper order")
     return parser
 
@@ -382,6 +437,10 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         kwargs["checkpoint"] = args.checkpoint
         if args.force:
             kwargs["checkpoint_force"] = True
+        if args.durable_checkpoint:
+            kwargs["durable_checkpoint"] = True
+    if args.point_timeout is not None:
+        kwargs["point_timeout"] = args.point_timeout
     if not args.strict:
         kwargs["strict"] = False
     if args.check_invariants:
@@ -389,7 +448,7 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
     explore_kwargs = {
         k: v
         for k, v in kwargs.items()
-        if k in ("chunk_budget", "workers", "strict", "backend")
+        if k in ("chunk_budget", "workers", "strict", "backend", "point_timeout")
     }
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
@@ -564,6 +623,34 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
             sections.append(report.format())
             if not report.passed:
                 exit_code = 1
+    if command == "chaos":
+        from repro.resilience.chaos import run_chaos_campaign
+
+        try:
+            seeds = tuple(
+                int(part) for part in args.seeds.split(",") if part.strip()
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--seeds must be a comma-separated integer list, "
+                f"got {args.seeds!r}"
+            )
+        if not seeds:
+            raise SystemExit("--seeds needs at least one seed")
+        chaos_kwargs = dict(budget_only)
+        if args.backend is not None:
+            chaos_kwargs["backend"] = args.backend
+        if args.workers is not None:
+            chaos_kwargs["workers"] = args.workers
+        if args.point_timeout is not None:
+            chaos_kwargs["point_timeout"] = args.point_timeout
+        report = run_chaos_campaign(
+            seeds=seeds, max_attempts=args.max_attempts, **chaos_kwargs
+        )
+        sections.append("== Chaos campaign ==")
+        sections.append(report.format())
+        if not report.passed:
+            exit_code = 1
     if command == "profile":
         figure = args.figure
         if figure == "fig3":
@@ -590,6 +677,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint FILE")
+    if args.durable_checkpoint and args.checkpoint is None:
+        parser.error("--durable-checkpoint requires --checkpoint FILE")
     if args.backend is not None:
         # Validate eagerly so even subcommands that never build a
         # SystemConfig (e.g. table1) reject a typo'd backend.

@@ -72,6 +72,18 @@ class WorkerError(SimulationError):
         self.traceback = traceback
 
 
+class JobTimeoutError(SimulationError):
+    """A supervised job exhausted its wall-clock deadline budget.
+
+    Raised by :func:`repro.parallel.parallel_map` (in place of a
+    result) when a job under watchdog supervision hung past its
+    ``timeout_s`` deadline on every permitted attempt and
+    ``capture_failures`` is off.  With ``capture_failures=True`` the
+    same condition is captured as a quarantined
+    :class:`~repro.resilience.report.JobFailure` instead.
+    """
+
+
 class CheckpointError(ReproError):
     """A sweep checkpoint file could not be read or written."""
 

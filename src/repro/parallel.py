@@ -60,6 +60,12 @@ from typing import Callable, Dict, Iterable, List, Optional, TypeVar, Union
 from repro.errors import ConfigurationError
 from repro.resilience.report import JobFailure
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.resilience.supervisor import (
+    CallbackError,
+    Watchdog,
+    deliver,
+    supervised_map,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -165,6 +171,7 @@ def _serial_map(
     results: Dict[int, Union[R, JobFailure]],
     capture_failures: bool,
     on_result: Optional[Callable[[int, R], None]],
+    on_failure: Optional[Callable[[int, JobFailure], None]] = None,
 ) -> None:
     """Run ``pending`` jobs in-process, filling ``results`` by index."""
     for index in sorted(pending):
@@ -174,11 +181,12 @@ def _serial_map(
         except Exception as exc:
             if not capture_failures:
                 raise
-            results[index] = JobFailure.from_exception(index, job, exc)
+            failure = JobFailure.from_exception(index, job, exc)
+            results[index] = failure
+            deliver(on_failure, index, failure)
         else:
             results[index] = value
-            if on_result is not None:
-                on_result(index, value)
+            deliver(on_result, index, value)
     pending.clear()
 
 
@@ -189,6 +197,7 @@ def _pooled_map(
     retry: RetryPolicy,
     capture_failures: bool,
     on_result: Optional[Callable[[int, R], None]],
+    on_failure: Optional[Callable[[int, JobFailure], None]] = None,
 ) -> Dict[int, Union[R, JobFailure]]:
     """Distribute ``jobs`` over a pool, retrying transient failures.
 
@@ -198,6 +207,13 @@ def _pooled_map(
     pool failures retry all unfinished jobs on a fresh pool under
     ``retry``'s deterministic backoff schedule, then finish
     in-process.
+
+    Caller callbacks run through :func:`deliver`, which wraps anything
+    they raise in :class:`CallbackError` -- an exception type no
+    ``except`` clause here matches -- so a failing checkpoint append
+    (an :class:`OSError`, which is also a pool-error type) can never be
+    mistaken for a transient pool failure and cause the already-
+    delivered job to be re-run.
     """
     results: Dict[int, Union[R, JobFailure]] = {}
     pending: Dict[int, T] = dict(enumerate(jobs))
@@ -217,8 +233,7 @@ def _pooled_map(
                         value = future.result()
                         results[index] = value
                         del pending[index]
-                        if on_result is not None:
-                            on_result(index, value)
+                        deliver(on_result, index, value)
                     elif isinstance(exc, _TRANSIENT_FUTURE_ERRORS):
                         # The pool (or the pickling boundary) failed,
                         # not the job: escalate to the retry handler
@@ -230,9 +245,11 @@ def _pooled_map(
                         job = pending.pop(index)
                         if not capture_failures:
                             raise exc
-                        results[index] = JobFailure.from_exception(
-                            index, job, exc
-                        )
+                        failure = JobFailure.from_exception(index, job, exc)
+                        results[index] = failure
+                        deliver(on_failure, index, failure)
+        except CallbackError:
+            raise
         except _POOL_ERRORS as exc:
             failed_attempts += 1
             if failed_attempts >= retry.max_attempts:
@@ -241,7 +258,10 @@ def _pooled_map(
                     f"pool attempt(s)); finishing {len(pending)} job(s) "
                     "in-process"
                 )
-                _serial_map(fn, pending, results, capture_failures, on_result)
+                _serial_map(
+                    fn, pending, results, capture_failures, on_result,
+                    on_failure,
+                )
             else:
                 delay = retry.delay_s(failed_attempts)
                 if delay > 0:
@@ -256,6 +276,9 @@ def parallel_map(
     retry: Optional[RetryPolicy] = None,
     capture_failures: bool = False,
     on_result: Optional[Callable[[int, R], None]] = None,
+    on_failure: Optional[Callable[[int, JobFailure], None]] = None,
+    timeout_s: Optional[float] = None,
+    watchdog: Optional[Watchdog] = None,
 ) -> List[Union[R, JobFailure]]:
     """Order-preserving, fault-tolerant map over independent jobs.
 
@@ -284,17 +307,88 @@ def parallel_map(
       holds a :class:`~repro.resilience.report.JobFailure` record and
       every other job still completes.
 
+    Supervision: ``timeout_s`` (or an explicit
+    :class:`~repro.resilience.supervisor.Watchdog`, which additionally
+    controls the strike budget and poll cadence) puts the map under
+    watchdog supervision -- every job gets a wall-clock deadline
+    measured from the moment it starts in a worker; a hung job's worker
+    is killed and the job requeued, and a job that hangs (or kills its
+    worker) on every permitted attempt is quarantined as a
+    :class:`~repro.resilience.report.JobFailure` of kind ``timeout`` /
+    ``quarantined`` (``capture_failures=True``) or raised as
+    :class:`~repro.errors.JobTimeoutError`.  Supervision forces pooled
+    execution even for ``workers=None``: an in-process job cannot be
+    preempted, so a pool of one is the only way to honour the
+    deadline.  Should the pool be unavailable the map still completes
+    in-process -- with a :class:`PoolFallbackWarning` noting that
+    deadlines are not enforced there.
+
     ``on_result`` (when given) is called in the parent process as
     ``on_result(index, value)`` the moment each job *succeeds* -- in
     completion order, not input order -- which is what lets sweep
-    checkpoints record points as they finish.
+    checkpoints record points as they finish.  ``on_failure`` is the
+    counterpart for captured failures (including quarantines).  An
+    exception raised by either callback is a *caller* error: it
+    propagates unchanged, aborts the map, and is never retried or
+    recorded as a job failure -- a checkpoint append failing with
+    ``OSError`` must not look like a killed worker.
     """
     jobs = list(items)
     effective = resolve_workers(workers, len(jobs))
     policy = retry if retry is not None else DEFAULT_RETRY_POLICY
-    if effective <= 1:
+    if watchdog is not None and timeout_s is not None:
+        if float(timeout_s) != watchdog.timeout_s:
+            raise ConfigurationError(
+                "pass either timeout_s or a Watchdog, not conflicting both "
+                f"({timeout_s!r} vs watchdog.timeout_s={watchdog.timeout_s!r})"
+            )
+    if watchdog is None and timeout_s is not None:
+        watchdog = Watchdog(timeout_s)
+
+    def unwrap(run: Callable[[], Dict[int, Union[R, JobFailure]]]):
+        try:
+            return run()
+        except CallbackError as exc:
+            raise exc.original from exc.original.__cause__
+
+    if watchdog is not None and jobs:
+        if pool_supported():
+            # Supervision needs preemptable workers: force a pool even
+            # for an effective worker count of 1.
+            outcome = unwrap(
+                lambda: supervised_map(
+                    fn,
+                    jobs,
+                    max(effective, 1),
+                    policy,
+                    capture_failures,
+                    on_result,
+                    on_failure,
+                    watchdog,
+                )
+            )
+            return [outcome[i] for i in range(len(jobs))]
+        _warn_fallback(
+            "worker pools are unavailable on this platform; running "
+            f"{len(jobs)} supervised job(s) in-process -- deadlines are "
+            "NOT enforced in-process"
+        )
         results: Dict[int, Union[R, JobFailure]] = {}
-        _serial_map(fn, dict(enumerate(jobs)), results, capture_failures, on_result)
+        unwrap(
+            lambda: _serial_map(
+                fn, dict(enumerate(jobs)), results, capture_failures,
+                on_result, on_failure,
+            )
+        )
+        return [results[i] for i in range(len(jobs))]
+    if effective <= 1:
+        results = {}
+        unwrap(
+            lambda: _serial_map(
+                fn, dict(enumerate(jobs)), results, capture_failures,
+                on_result, on_failure,
+            )
+        )
         return [results[i] for i in range(len(jobs))]
     try:
         # Probe before starting a pool: an unpicklable fn (lambda,
@@ -308,7 +402,17 @@ def parallel_map(
             f"({type(exc).__name__})"
         )
         results = {}
-        _serial_map(fn, dict(enumerate(jobs)), results, capture_failures, on_result)
+        unwrap(
+            lambda: _serial_map(
+                fn, dict(enumerate(jobs)), results, capture_failures,
+                on_result, on_failure,
+            )
+        )
         return [results[i] for i in range(len(jobs))]
-    outcome = _pooled_map(fn, jobs, effective, policy, capture_failures, on_result)
+    outcome = unwrap(
+        lambda: _pooled_map(
+            fn, jobs, effective, policy, capture_failures, on_result,
+            on_failure,
+        )
+    )
     return [outcome[i] for i in range(len(jobs))]

@@ -2,20 +2,32 @@
 
 The paper's evaluation is a grid of dozens of independent simulation
 points; at production scale a grid run must survive crashed workers,
-pathological points and interruptions without discarding completed
-work.  This package supplies the machinery:
+hung workers, pathological points and interruptions without discarding
+completed work.  This package supplies the machinery:
 
 - :mod:`repro.resilience.retry` -- deterministic exponential backoff
   for transient pool failures (:class:`RetryPolicy`);
 - :mod:`repro.resilience.report` -- structured per-job failure records
-  (:class:`JobFailure`) and the graceful-degradation sweep result
+  (:class:`JobFailure`, with ``error``/``timeout``/``quarantined``
+  kinds) and the graceful-degradation sweep result
   (:class:`SweepReport`);
 - :mod:`repro.resilience.checkpoint` -- the append-only JSON-lines
   checkpoint store behind ``sweep_use_case(checkpoint=...)`` and the
-  CLI's ``--checkpoint``/``--resume`` (:class:`SweepCheckpoint`);
+  CLI's ``--checkpoint``/``--resume`` (:class:`SweepCheckpoint`, with
+  opt-in per-append fsync durability);
+- :mod:`repro.resilience.supervisor` -- the watchdog layer over
+  :func:`repro.parallel.parallel_map`: per-job wall-clock deadlines,
+  heartbeat-based hang detection, kill-and-requeue, and quarantine of
+  jobs that exhaust their strike budget (:class:`Watchdog`);
 - :mod:`repro.resilience.faults` -- controlled fault injection (worker
-  crash on the Nth job, deterministic job failure, corrupted timing
-  parameters, malformed request streams) for testing all of the above.
+  crash or permanent stall on the Nth job, deterministic job failure,
+  torn checkpoint writes, corrupted timing parameters, malformed
+  request streams) for testing all of the above;
+- :mod:`repro.resilience.chaos` -- the seeded chaos campaign that runs
+  a real sweep under randomized crash/stall/torn-write injection and
+  asserts the final report is bit-identical to an undisturbed run
+  (imported directly, not re-exported here: it drives the sweep layer,
+  which sits above this package).
 
 The runtime DRAM-protocol invariant checker lives with the protocol
 model (:class:`repro.dram.protocol.ProtocolChecker`) and is enabled
@@ -27,16 +39,29 @@ from repro.resilience.checkpoint import (
     CheckpointWarning,
     SweepCheckpoint,
 )
-from repro.resilience.report import JobFailure, SweepReport
+from repro.resilience.faults import TornWriteInjected
+from repro.resilience.report import (
+    FAILURE_KIND_ERROR,
+    FAILURE_KIND_QUARANTINED,
+    FAILURE_KIND_TIMEOUT,
+    JobFailure,
+    SweepReport,
+)
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
+from repro.resilience.supervisor import Watchdog
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointWarning",
     "DEFAULT_RETRY_POLICY",
+    "FAILURE_KIND_ERROR",
+    "FAILURE_KIND_QUARANTINED",
+    "FAILURE_KIND_TIMEOUT",
     "JobFailure",
     "NO_RETRY",
     "RetryPolicy",
     "SweepCheckpoint",
     "SweepReport",
+    "TornWriteInjected",
+    "Watchdog",
 ]

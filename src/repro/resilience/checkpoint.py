@@ -24,7 +24,24 @@ Line format (version 1)::
   to uninterrupted ones.
 
 A truncated final line -- the signature of a run killed mid-write --
-is skipped with a warning rather than poisoning the resume.
+is skipped with a warning rather than poisoning the resume, and the
+next append repairs the torn tail (terminates it with a newline) so
+later records never fuse with the debris.  The same benefit of the
+doubt extends to a *final* line whose version field is unrecognised: a
+line torn inside its ``data`` blob can still parse as JSON with
+mangled fields, and punishing the whole file for its last half-written
+line would make every crash-resume a manual repair job.  An
+unrecognised version on an *interior* line keeps raising
+:class:`~repro.errors.CheckpointError` -- that is a foreign format,
+not damage -- and the error reports how many valid points precede it
+so the operator knows what a manual truncation would preserve.
+
+Durability: by default each append is flushed to the OS (survives the
+*process* dying, the common sweep failure) but not fsynced to the
+platter.  ``fsync=True`` adds an :func:`os.fsync` per append for
+machine-crash durability, at a per-point latency cost that is pure
+waste on the ordinary kill/OOM failure class -- which is why it is
+opt-in (``--durable-checkpoint`` on the CLI).
 """
 
 from __future__ import annotations
@@ -32,6 +49,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 import pickle
 import warnings
 import zlib
@@ -39,6 +57,7 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.errors import CheckpointError
+from repro.resilience.faults import TornWriteInjected, maybe_torn_write
 
 PathLike = Union[str, Path]
 
@@ -51,10 +70,17 @@ class CheckpointWarning(UserWarning):
 
 
 class SweepCheckpoint:
-    """Append-only store of completed sweep points (JSON lines)."""
+    """Append-only store of completed sweep points (JSON lines).
 
-    def __init__(self, path: PathLike) -> None:
+    ``fsync=True`` makes every append machine-crash durable (one
+    :func:`os.fsync` per point); the default only flushes to the OS,
+    which already survives the process dying.
+    """
+
+    def __init__(self, path: PathLike, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = bool(fsync)
+        self._appends = 0
 
     @staticmethod
     def key_for(job: Any) -> str:
@@ -72,42 +98,58 @@ class SweepCheckpoint:
 
         Returns an empty dict when the file does not exist.  Undecodable
         lines (truncated tail of a killed run) are skipped with a
-        :class:`CheckpointWarning`; a structurally valid line with an
+        :class:`CheckpointWarning`.  A structurally valid line with an
         unknown version raises :class:`CheckpointError` -- that file is
-        from a different format, not a damaged copy of this one.
+        from a different format, not a damaged copy of this one -- and
+        the error reports how many valid points precede the offender.
+        The one exception is the *final* line: a line torn mid-write
+        can parse as JSON with a mangled version field, so an unknown
+        version there gets the same benefit of the doubt as a torn
+        line (skipped with a warning, point recomputed).
         """
         if not self.path.exists():
             return {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        last_lineno = max(
+            (i + 1 for i, raw in enumerate(lines) if raw.strip()), default=0
+        )
         done: Dict[str, Any] = {}
         skipped = 0
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for lineno, raw in enumerate(handle, start=1):
-                line = raw.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(entry, dict) or "key" not in entry:
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: not a checkpoint entry"
+                )
+            if entry.get("v") != CHECKPOINT_VERSION:
+                if lineno == last_lineno:
+                    # The torn tail of a killed run can still be valid
+                    # JSON with a damaged version field; treat the last
+                    # line like any other truncated write.
                     skipped += 1
                     continue
-                if not isinstance(entry, dict) or "key" not in entry:
-                    raise CheckpointError(
-                        f"{self.path}:{lineno}: not a checkpoint entry"
-                    )
-                if entry.get("v") != CHECKPOINT_VERSION:
-                    raise CheckpointError(
-                        f"{self.path}:{lineno}: unsupported checkpoint "
-                        f"version {entry.get('v')!r} "
-                        f"(expected {CHECKPOINT_VERSION})"
-                    )
-                try:
-                    payload = pickle.loads(
-                        zlib.decompress(base64.b64decode(entry["data"]))
-                    )
-                except Exception:
-                    skipped += 1
-                    continue
-                done[entry["key"]] = payload
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: unsupported checkpoint "
+                    f"version {entry.get('v')!r} "
+                    f"(expected {CHECKPOINT_VERSION}); "
+                    f"{len(done)} valid point(s) precede this line"
+                )
+            try:
+                payload = pickle.loads(
+                    zlib.decompress(base64.b64decode(entry["data"]))
+                )
+            except Exception:
+                skipped += 1
+                continue
+            done[entry["key"]] = payload
         if skipped:
             warnings.warn(
                 CheckpointWarning(
@@ -119,8 +161,27 @@ class SweepCheckpoint:
             )
         return done
 
+    def _tail_torn(self) -> bool:
+        """Whether the existing file ends mid-line (no final newline)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
     def record(self, key: str, coords: Dict[str, Any], result: Any) -> None:
-        """Append one completed point and flush it to disk."""
+        """Append one completed point and flush it to disk.
+
+        The first append of this instance repairs a torn tail left by
+        a previous run killed mid-write (terminates the half-line with
+        a newline) so the new record cannot fuse with the debris.
+        With ``fsync=True`` the append is also fsynced before
+        returning.
+        """
         try:
             data = base64.b64encode(
                 zlib.compress(pickle.dumps(result))
@@ -132,9 +193,31 @@ class SweepCheckpoint:
         line = json.dumps(
             {"v": CHECKPOINT_VERSION, "key": key, "coords": coords, "data": data}
         )
+        repair = (
+            self._appends == 0 and self.path.exists() and self._tail_torn()
+        )
+        seq = self._appends
+        self._appends += 1
+        torn = maybe_torn_write("checkpoint", seq)
         with open(self.path, "a", encoding="utf-8") as handle:
+            if repair:
+                handle.write("\n")
+            if torn:
+                # Injected fault: emulate the process dying mid-append
+                # by writing a truncated, newline-less line and tearing
+                # the run down.
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+                raise TornWriteInjected(
+                    f"injected torn checkpoint write at append #{seq} "
+                    f"({self.path})"
+                )
             handle.write(line + "\n")
             handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
 
     def recorded_backends(self) -> set:
         """Simulation backends the on-disk points were recorded under.

@@ -7,10 +7,19 @@ classes the resilience subsystem claims to handle:
 - **worker crash on the Nth job** (``mode="crash"``): the worker
   process hard-exits, killing its pool -- the transient failure
   :func:`repro.parallel.parallel_map` must retry with backoff;
+- **worker hang on the Nth job** (``mode="stall"``): the worker sleeps
+  forever at the injection site -- the hang the watchdog supervisor
+  (:mod:`repro.resilience.supervisor`) must detect via the job's
+  heartbeat, kill, and requeue or quarantine;
 - **deterministic job failure** (``mode="raise"``): the job raises
   :class:`~repro.errors.SimulationError` -- the failure a sweep must
   capture as a :class:`~repro.resilience.report.JobFailure` instead of
   aborting;
+- **torn checkpoint write** (``mode="torn-write"``): the Nth
+  :meth:`~repro.resilience.checkpoint.SweepCheckpoint.record` call
+  writes a truncated line and dies (:class:`TornWriteInjected`),
+  modelling a process killed mid-append -- a later ``--resume`` must
+  skip the torn tail and recompute only that point;
 - **corrupted inputs**: :func:`corrupt_timing` skews one timing
   parameter (the invariant checker must flag the resulting illegal
   command stream) and :func:`malformed_runs` damages a request stream
@@ -29,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, replace as _replace
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -41,7 +51,27 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #: Exit code of an injected worker crash (aids post-mortem in CI logs).
 CRASH_EXIT_CODE = 113
 
-_FAULT_MODES = ("crash", "raise")
+#: Nap length of an injected stall; the stall is unbounded, the nap
+#: just keeps the hung worker from burning a CPU while it waits for
+#: the watchdog's SIGKILL.
+STALL_NAP_S = 0.05
+
+_FAULT_MODES = ("crash", "raise", "stall", "torn-write")
+
+#: Modes whose one-shot plans need a cross-process marker file: they
+#: either kill the process that fired them (crash, stall -- the next
+#: attempt runs in a fresh worker that only sees the marker) or must
+#: fire exactly once across resumed runs (torn-write).
+_MARKER_MODES = ("crash", "stall", "torn-write")
+
+
+class TornWriteInjected(SimulationError):
+    """The injected torn checkpoint write fired.
+
+    Models the process dying mid-append: the checkpoint file is left
+    with a truncated final line and the sweep is torn down.  The chaos
+    harness treats it as the interruption to resume from.
+    """
 
 
 @dataclass(frozen=True)
@@ -67,9 +97,9 @@ class FaultPlan:
             )
         if self.index < 0:
             raise ConfigurationError(f"fault index must be >= 0, got {self.index}")
-        if self.once and self.mode == "crash" and not self.marker_path:
+        if self.once and self.mode in _MARKER_MODES and not self.marker_path:
             raise ConfigurationError(
-                "a one-shot crash plan needs a marker_path"
+                f"a one-shot {self.mode} plan needs a marker_path"
             )
 
     def to_json(self) -> str:
@@ -112,23 +142,31 @@ def _claim_marker(path: str) -> bool:
     return True
 
 
+def _armed_plan() -> Optional[FaultPlan]:
+    """The installed fault plan, or ``None`` (one env lookup)."""
+    payload = os.environ.get(FAULT_PLAN_ENV)
+    if payload is None:
+        return None
+    try:
+        return FaultPlan.from_json(payload)
+    except (ValueError, TypeError, ConfigurationError) as exc:
+        raise ConfigurationError(
+            f"unreadable fault plan in ${FAULT_PLAN_ENV}: {exc}"
+        ) from exc
+
+
 def maybe_inject(site: str, index: int) -> None:
     """Fire the armed fault if it targets (``site``, ``index``).
 
     Called from instrumented job entry points (for example
     :func:`repro.analysis.sweep._sweep_point_job`).  A single
     environment lookup when no plan is armed, so production sweeps pay
-    nothing.
+    nothing.  ``torn-write`` plans are inert here -- they target the
+    checkpoint writer, which consults :func:`maybe_torn_write`.
     """
-    payload = os.environ.get(FAULT_PLAN_ENV)
-    if payload is None:
+    plan = _armed_plan()
+    if plan is None or plan.mode == "torn-write":
         return
-    try:
-        plan = FaultPlan.from_json(payload)
-    except (ValueError, TypeError, ConfigurationError) as exc:
-        raise ConfigurationError(
-            f"unreadable fault plan in ${FAULT_PLAN_ENV}: {exc}"
-        ) from exc
     if plan.site != site or plan.index != index:
         return
     if plan.once and plan.marker_path and not _claim_marker(plan.marker_path):
@@ -138,9 +176,35 @@ def maybe_inject(site: str, index: int) -> None:
         # segfault class of failure the pool reports as
         # BrokenProcessPool.  Flush nothing, run no handlers.
         os._exit(CRASH_EXIT_CODE)
+    if plan.mode == "stall":
+        # Hang forever (until the watchdog's SIGKILL): this models the
+        # livelocked / deadlocked worker class of failure that never
+        # reports back and never dies on its own.
+        while True:
+            time.sleep(STALL_NAP_S)
     raise SimulationError(
         f"injected fault at site {plan.site!r}, job index {plan.index}"
     )
+
+
+def maybe_torn_write(site: str, index: int) -> bool:
+    """Whether the armed ``torn-write`` fault targets this append.
+
+    Consulted by :meth:`repro.resilience.checkpoint.SweepCheckpoint.record`
+    with ``index`` counting the record calls of the running process.
+    Returns ``True`` exactly when the write must be torn (the caller
+    writes a truncated line and raises :class:`TornWriteInjected`);
+    one-shot plans claim their marker here so a resumed run is not
+    torn again.
+    """
+    plan = _armed_plan()
+    if plan is None or plan.mode != "torn-write":
+        return False
+    if plan.site != site or plan.index != index:
+        return False
+    if plan.once and plan.marker_path and not _claim_marker(plan.marker_path):
+        return False
+    return True
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,14 @@ import traceback as _traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
+#: The mapped function raised -- the classic deterministic failure.
+FAILURE_KIND_ERROR = "error"
+#: The job hung past its watchdog deadline on every permitted attempt.
+FAILURE_KIND_TIMEOUT = "timeout"
+#: The job exhausted its transient-failure budget (e.g. the worker
+#: running it died on every attempt) and was written off.
+FAILURE_KIND_QUARANTINED = "quarantined"
+
 
 @dataclass(frozen=True)
 class JobFailure:
@@ -27,6 +35,14 @@ class JobFailure:
     ``coords`` is empty for plain :func:`~repro.parallel.parallel_map`
     jobs; the sweep runners fill it with the point's sweep coordinates
     (level name, channel count, clock, ...).
+
+    ``kind`` distinguishes how the job was written off:
+    :data:`FAILURE_KIND_ERROR` (the function raised),
+    :data:`FAILURE_KIND_TIMEOUT` (hung past its deadline until
+    quarantined) and :data:`FAILURE_KIND_QUARANTINED` (repeatedly took
+    its worker down until quarantined).  Timeout/quarantine records are
+    persisted into sweep checkpoints so a ``--resume`` does not re-hang
+    on the same point.
     """
 
     #: Position of the job in the submitted sequence.
@@ -43,6 +59,41 @@ class JobFailure:
     traceback: str
     #: Sweep coordinates of the failed point, when known.
     coords: Mapping[str, Any] = field(default_factory=dict)
+    #: Failure class: one of :data:`FAILURE_KIND_ERROR`,
+    #: :data:`FAILURE_KIND_TIMEOUT`, :data:`FAILURE_KIND_QUARANTINED`.
+    kind: str = FAILURE_KIND_ERROR
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether this job was written off by the supervisor (and must
+        not be re-attempted on resume)."""
+        return self.kind != FAILURE_KIND_ERROR
+
+    @classmethod
+    def from_quarantine(
+        cls,
+        index: int,
+        item: Any,
+        kind: str,
+        message: str,
+        error_type: str = "JobTimeoutError",
+    ) -> "JobFailure":
+        """Build a quarantine record for a job the supervisor wrote off.
+
+        There is no worker-side traceback: the worker was either killed
+        by the watchdog mid-hang or died before it could report.
+        """
+        item_repr = repr(item)
+        if len(item_repr) > 200:
+            item_repr = item_repr[:197] + "..."
+        return cls(
+            index=index,
+            item=item_repr,
+            error_type=error_type,
+            message=message,
+            traceback="",
+            kind=kind,
+        )
 
     @classmethod
     def from_exception(
@@ -74,7 +125,8 @@ class JobFailure:
             if self.coords
             else f"job {self.index}"
         )
-        return f"[{where}] {self.error_type}: {self.message}"
+        tag = "" if self.kind == FAILURE_KIND_ERROR else f" ({self.kind})"
+        return f"[{where}]{tag} {self.error_type}: {self.message}"
 
 
 class SweepReport(Sequence):

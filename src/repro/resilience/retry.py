@@ -35,6 +35,14 @@ class RetryPolicy:
 
     ``max_attempts`` counts *pool* attempts: 3 means the initial try
     plus two retries before the work falls back in-process.
+
+    Under watchdog supervision
+    (:mod:`repro.resilience.supervisor`) the same ``max_attempts``
+    doubles as the default *per-job* strike budget: a job that hangs
+    past its deadline (or takes its worker down) that many times is
+    quarantined instead of requeued, unless the
+    :class:`~repro.resilience.supervisor.Watchdog` overrides the
+    budget with ``max_strikes``.
     """
 
     max_attempts: int = 3

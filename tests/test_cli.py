@@ -344,3 +344,51 @@ class TestRegressionSubcommands:
         payload = json.loads(path.read_text(encoding="utf-8"))
         assert payload["counters"]["regression.cases"] == 4
         assert payload["counters"]["regression.mismatches"] == 0
+
+
+class TestSupervisionFlags:
+    """--point-timeout, --durable-checkpoint and the chaos subcommand."""
+
+    def test_chaos_subcommand_passes(self, capsys):
+        from repro.parallel import pool_supported
+
+        if not pool_supported():
+            pytest.skip("process pool unavailable on this platform")
+        assert main(["--budget", "2000", "chaos", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos campaign" in out
+        assert "seed 1:" in out
+        assert "PASS" in out
+
+    def test_chaos_rejects_non_integer_seeds(self):
+        with pytest.raises(SystemExit, match="comma-separated integer"):
+            main(["--budget", "2000", "chaos", "--seeds", "one,two"])
+
+    def test_chaos_rejects_empty_seed_list(self):
+        with pytest.raises(SystemExit, match="at least one seed"):
+            main(["--budget", "2000", "chaos", "--seeds", ","])
+
+    def test_point_timeout_accepted_on_sweeps(self, capsys, fast_args):
+        assert main(fast_args + ["--point-timeout", "120", "fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_point_timeout_accepted_on_explore(self, capsys, fast_args):
+        assert main(
+            fast_args + ["--point-timeout", "120", "explore", "--level", "3.1"]
+        ) == 0
+
+    def test_durable_checkpoint_requires_checkpoint(self, fast_args):
+        with pytest.raises(SystemExit):
+            main(fast_args + ["--durable-checkpoint", "fig4"])
+
+    def test_durable_checkpoint_records_points(
+        self, tmp_path, capsys, fast_args
+    ):
+        from repro.resilience import SweepCheckpoint
+
+        ckpt = tmp_path / "fig4.ckpt"
+        assert main(
+            fast_args
+            + ["--checkpoint", str(ckpt), "--durable-checkpoint", "fig4"]
+        ) == 0
+        assert len(SweepCheckpoint(ckpt)) > 0

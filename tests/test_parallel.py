@@ -6,7 +6,10 @@ an implementation detail -- every observable result is bit-identical
 to the sequential path, in the same order, for any worker count.
 """
 
+import os
 import pickle
+import time
+import warnings
 
 import pytest
 
@@ -17,11 +20,13 @@ from repro.load.generators import sequential_stream
 from repro.parallel import (
     AUTO_WORKERS,
     MAX_WORKERS,
+    PoolFallbackWarning,
     available_cpus,
     parallel_map,
     pool_supported,
     resolve_workers,
 )
+from repro.resilience.report import JobFailure
 
 needs_pool = pytest.mark.skipif(
     not pool_supported(), reason="process pool unavailable on this platform"
@@ -98,6 +103,119 @@ class TestParallelMap:
 
     def test_empty_input(self):
         assert parallel_map(_square, [], workers=4) == []
+
+
+# ---------------------------------------------------------------------------
+# Callback (on_result / on_failure) semantics
+
+
+def _mark_and_square(arg):
+    """Square ``value``, dropping one marker file per simulation.
+
+    The marker name embeds pid and a monotonic stamp so *every*
+    execution of a job leaves a distinct file -- counting the markers
+    for one value counts how many times that job was simulated.
+    """
+    value, mark_dir = arg
+    name = f"{value}-{os.getpid()}-{time.monotonic_ns()}"
+    with open(os.path.join(mark_dir, name), "w"):
+        pass
+    return value * value
+
+
+def _disk_full(index, value):
+    raise OSError("disk full (test)")
+
+
+def _simulation_counts(mark_dir, values):
+    return {
+        value: sum(
+            1
+            for name in os.listdir(mark_dir)
+            if name.startswith(f"{value}-")
+        )
+        for value in values
+    }
+
+
+class TestCallbackSemantics:
+    """A raising ``on_result``/``on_failure`` is a *caller* error.
+
+    The trap this guards: a checkpoint append failing with ``OSError``
+    -- which is also a pool-error type -- must abort the map as the
+    caller's exception, never be retried as a "transient pool failure"
+    that re-simulates jobs whose results were already delivered.
+    """
+
+    @needs_pool
+    def test_pooled_on_result_error_propagates_without_resimulation(
+        self, tmp_path
+    ):
+        values = list(range(4))
+        jobs = [(value, str(tmp_path)) for value in values]
+        with warnings.catch_warnings():
+            # A misclassification would surface as retry-then-fallback;
+            # escalating the fallback warning makes it unmissable.
+            warnings.simplefilter("error", PoolFallbackWarning)
+            with pytest.raises(OSError, match="disk full"):
+                parallel_map(
+                    _mark_and_square, jobs, workers=2, on_result=_disk_full
+                )
+        counts = _simulation_counts(tmp_path, values)
+        assert all(count <= 1 for count in counts.values()), (
+            f"a failing on_result re-ran completed jobs: {counts}"
+        )
+
+    def test_serial_on_result_error_propagates_and_aborts(self, tmp_path):
+        values = list(range(4))
+        jobs = [(value, str(tmp_path)) for value in values]
+        with pytest.raises(OSError, match="disk full"):
+            parallel_map(_mark_and_square, jobs, on_result=_disk_full)
+        # The first delivery aborted the map: one simulation, ever.
+        counts = _simulation_counts(tmp_path, values)
+        assert sum(counts.values()) == 1
+
+    def test_on_result_sees_successes_in_completion_order(self):
+        seen = {}
+        parallel_map(
+            _square, range(5), on_result=lambda i, v: seen.__setitem__(i, v)
+        )
+        assert seen == {i: i * i for i in range(5)}
+
+    def test_on_failure_receives_captured_failures(self):
+        seen = {}
+        out = parallel_map(
+            _boom,
+            [1, 2],
+            capture_failures=True,
+            on_failure=lambda i, f: seen.__setitem__(i, f),
+        )
+        assert set(seen) == {0, 1}
+        assert all(isinstance(f, JobFailure) for f in seen.values())
+        assert out == [seen[0], seen[1]]
+
+    def test_on_failure_error_propagates_as_caller_error(self):
+        def explode(index, failure):
+            raise RuntimeError("failure sink broke (test)")
+
+        with pytest.raises(RuntimeError, match="failure sink broke"):
+            parallel_map(
+                _boom, [1], capture_failures=True, on_failure=explode
+            )
+
+    @needs_pool
+    def test_pooled_on_failure_error_propagates_as_caller_error(self):
+        def explode(index, failure):
+            raise RuntimeError("failure sink broke (test)")
+
+        with pytest.raises(RuntimeError, match="failure sink broke"):
+            parallel_map(
+                _boom,
+                [1, 2, 3],
+                workers=2,
+                capture_failures=True,
+                on_failure=explode,
+            )
 
 
 # ---------------------------------------------------------------------------
