@@ -186,6 +186,7 @@ def run_fig3(
     checkpoint_force: bool = False,
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
+    cache: Optional[Union[str, Path]] = None,
 ) -> Fig3Result:
     """Regenerate Fig. 3: sweep the interface clock for the least
     demanding HD level (3.1: 720p at 30 fps) over 1-8 channels.
@@ -200,7 +201,9 @@ def run_fig3(
     raising; ``point_timeout`` puts every point under watchdog
     supervision (hung points are killed, requeued and eventually
     quarantined as ERR cells -- see
-    :func:`repro.analysis.sweep.sweep_use_case`)."""
+    :func:`repro.analysis.sweep.sweep_use_case`); ``cache`` names a
+    persistent content-addressed result store directory, so a warm
+    cache regenerates the figure without simulating anything."""
     level = level_by_name("3.1")
     base = base_config if base_config is not None else SystemConfig()
     kwargs = {} if chunk_budget is None else {"chunk_budget": chunk_budget}
@@ -222,6 +225,7 @@ def run_fig3(
         checkpoint_force=checkpoint_force,
         point_timeout=point_timeout,
         durable_checkpoint=durable_checkpoint,
+        cache=cache,
         **kwargs,
     )
     access: Dict[float, Dict[int, float]] = {}
@@ -332,6 +336,7 @@ def run_fig4(
     checkpoint_force: bool = False,
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
+    cache: Optional[Union[str, Path]] = None,
 ) -> Fig4Result:
     """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock.
 
@@ -342,7 +347,10 @@ def run_fig4(
     file (``checkpoint_force`` permits mixing backends in one file,
     ``durable_checkpoint`` fsyncs every append); ``strict=False``
     renders failed points as ERR cells instead of raising;
-    ``point_timeout`` puts every point under watchdog supervision."""
+    ``point_timeout`` puts every point under watchdog supervision;
+    ``cache`` names a persistent content-addressed result store
+    directory shared across figures (Fig. 4 and Fig. 5 sweep identical
+    points, so either warms the cache for both)."""
     base = (base_config if base_config is not None else SystemConfig()).with_frequency(
         freq_mhz
     )
@@ -360,6 +368,7 @@ def run_fig4(
         checkpoint_force=checkpoint_force,
         point_timeout=point_timeout,
         durable_checkpoint=durable_checkpoint,
+        cache=cache,
         **kwargs,
     )
     points: Dict[str, Dict[int, SweepPoint]] = {}
@@ -483,6 +492,7 @@ def run_fig5(
     checkpoint_force: bool = False,
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
+    cache: Optional[Union[str, Path]] = None,
 ) -> Fig5Result:
     """Regenerate Fig. 5.  Shares Fig. 4's sweep (the paper derives
     both from the same simulations) -- including its checkpoint file,
@@ -504,6 +514,7 @@ def run_fig5(
             checkpoint_force=checkpoint_force,
             point_timeout=point_timeout,
             durable_checkpoint=durable_checkpoint,
+            cache=cache,
         )
     )
 
@@ -566,6 +577,7 @@ def run_xdr_comparison(
     checkpoint_force: bool = False,
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
+    cache: Optional[Union[str, Path]] = None,
 ) -> XdrComparisonResult:
     """Compare the 8-channel configuration's power against the XDR
     reference across the encoding formats (Section IV).
@@ -588,6 +600,7 @@ def run_xdr_comparison(
             checkpoint_force=checkpoint_force,
             point_timeout=point_timeout,
             durable_checkpoint=durable_checkpoint,
+            cache=cache,
         )
     config = SystemConfig(channels=channels, freq_mhz=freq_mhz)
     per_level: Dict[str, Tuple[float, float]] = {}

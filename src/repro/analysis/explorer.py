@@ -50,6 +50,7 @@ def minimum_channels(
     strict: bool = True,
     backend: Optional[str] = None,
     point_timeout: Optional[float] = None,
+    cache: Optional[object] = None,
 ) -> Optional[int]:
     """Smallest channel count meeting the level's real-time target.
 
@@ -68,6 +69,11 @@ def minimum_channels(
     feasible) instead of aborting the exploration.  ``point_timeout``
     puts every evaluated point under watchdog supervision (and forces
     the sweep path -- an in-process point cannot be preempted).
+    ``cache`` names a persistent content-addressed result store
+    directory (or passes a prepared
+    :class:`~repro.service.cache.ResultCache`) and likewise forces the
+    sweep path so every evaluated point is served from -- and written
+    back to -- the store.
     """
     counts = sorted(channel_counts)
 
@@ -78,6 +84,7 @@ def minimum_channels(
     if (
         not strict
         or point_timeout is not None
+        or cache is not None
         or resolve_workers(workers, len(counts)) > 1
     ):
         points = sweep_use_case(
@@ -87,6 +94,7 @@ def minimum_channels(
             workers=workers,
             strict=strict,
             point_timeout=point_timeout,
+            cache=cache,
         )
     else:
         points = (
@@ -117,6 +125,7 @@ def find_minimum_power_configuration(
     prescreen_backend: Optional[str] = None,
     prescreen_slack: float = 0.25,
     point_timeout: Optional[float] = None,
+    cache: Optional[object] = None,
 ) -> Optional[SweepPoint]:
     """Cheapest (by average power) PASS configuration for ``level``.
 
@@ -138,6 +147,11 @@ def find_minimum_power_configuration(
     re-simulated under ``backend`` for the authoritative answer.  If
     the screen eliminates everything, the full grid is refined anyway
     rather than trusting a low-fidelity "infeasible".
+
+    ``cache`` names a persistent content-addressed result store
+    directory shared by both phases; keys include the backend, so the
+    pre-screen and the refinement populate disjoint entries and a
+    repeated exploration replays both from disk.
     """
     configs = [
         SystemConfig(channels=channels, freq_mhz=freq)
@@ -155,6 +169,7 @@ def find_minimum_power_configuration(
             strict=strict,
             backend=prescreen_backend,
             point_timeout=point_timeout,
+            cache=cache,
         )
         limit_ms = level.frame_period_ms * (1.0 + prescreen_slack)
         survivors = [
@@ -168,7 +183,7 @@ def find_minimum_power_configuration(
             configs = survivors
     points = sweep_use_case(
         [level], configs, chunk_budget=chunk_budget, workers=workers,
-        strict=strict, point_timeout=point_timeout,
+        strict=strict, point_timeout=point_timeout, cache=cache,
     )
     best: Optional[SweepPoint] = None
     for point in points:

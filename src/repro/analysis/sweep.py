@@ -28,6 +28,7 @@ Fault tolerance (see :mod:`repro.resilience`):
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, replace
 from functools import partial
 from pathlib import Path
@@ -47,6 +48,7 @@ from repro.resilience.faults import maybe_inject
 from repro.resilience.report import JobFailure, SweepReport
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervisor import Watchdog
+from repro.service.cache import CacheWarning, ResultCache, resolve_cache
 from repro.telemetry.profile import NULL_PROFILER
 from repro.telemetry.progress import ProgressSink, SweepProgress
 from repro.telemetry.session import Telemetry
@@ -167,6 +169,129 @@ def _job_coords(job: SweepJob) -> Dict[str, object]:
     }
 
 
+def _job_description(job: SweepJob) -> Dict[str, object]:
+    """Canonical-key material of one job: everything that determines
+    its result, nothing that does not.
+
+    The grid ``index`` is deliberately excluded -- a point's result is
+    a pure function of (level, config, scale, budget, block size), so
+    the same configuration must share stored work no matter where it
+    sits in which grid (the Fig. 3 and Fig. 4/5 runners, the explorer
+    and ad-hoc service sweeps all hit the same entries).  The
+    simulation ``backend`` is surfaced explicitly alongside the config
+    (which also carries it) so the key contract -- "changing the
+    backend misses" -- is visible in the payload, and the engine
+    version rides in via :func:`repro.keys.canonical_key`.
+    """
+    index, level, config, scale, chunk_budget, block_bytes = job
+    return {
+        "kind": "sweep-point",
+        "level": level,
+        "config": config,
+        "backend": config.backend,
+        "scale": scale,
+        "chunk_budget": chunk_budget,
+        "block_bytes": block_bytes,
+    }
+
+
+def job_keys(jobs: Sequence[SweepJob]) -> List[str]:
+    """Canonical content keys of ``jobs``, shared by the checkpoint
+    store and the result cache (see :mod:`repro.keys`)."""
+    return [SweepCheckpoint.key_for(_job_description(job)) for job in jobs]
+
+
+def _refuse_backend_mixing(
+    store: SweepCheckpoint,
+    configs: Sequence[SystemConfig],
+    checkpoint_force: bool,
+) -> None:
+    """Refuse resuming a checkpoint recorded under foreign backends."""
+    sweep_backends = {config.backend for config in configs}
+    foreign = store.recorded_backends() - sweep_backends
+    if foreign and not checkpoint_force:
+        raise CheckpointError(
+            f"checkpoint {store.path} holds points recorded under "
+            f"backend(s) {', '.join(sorted(foreign))}, but this sweep "
+            f"uses {', '.join(sorted(sweep_backends))}; mixing backends "
+            "in one checkpoint blends fidelities -- use a separate "
+            "checkpoint file, or pass --force / checkpoint_force=True "
+            "to proceed"
+        )
+
+
+def _fold_reuse(
+    jobs: Sequence[SweepJob],
+    keys: Sequence[str],
+    store: Optional[SweepCheckpoint],
+    cache: Optional["ResultCache"],
+) -> Tuple[List[Optional[SweepPoint]], int, int, List[JobFailure], List[int]]:
+    """Resolve every form of stored work before dispatching anything.
+
+    Returns ``(results, resumed, cached, resumed_failures,
+    pending_positions)``: checkpointed points and quarantined failures
+    are restored first (and successes copied into the cache when one
+    is attached, so a campaign checkpoint enriches the global store),
+    then the cache is consulted for the remainder.  Cache hits are
+    folded back into the checkpoint, keeping it a complete record of
+    the campaign.  Only positions neither store could serve are left
+    pending.
+    """
+    results: List[Optional[SweepPoint]] = [None] * len(jobs)
+    resumed = 0
+    cached = 0
+    resumed_failures: List[JobFailure] = []
+    covered = set()
+    if store is not None:
+        done = store.load()
+        for position, key in enumerate(keys):
+            if key not in done:
+                continue
+            covered.add(position)
+            resumed += 1
+            payload = done[key]
+            if isinstance(payload, JobFailure):
+                # A quarantined point from the previous run: yield the
+                # recorded failure instead of re-hanging on it.
+                resumed_failures.append(
+                    replace(
+                        payload,
+                        index=position,
+                        coords=_job_coords(jobs[position]),
+                    )
+                )
+            else:
+                results[position] = payload
+                if cache is not None and not cache.contains(key):
+                    cache.put(key, payload, _job_coords(jobs[position]))
+    if cache is not None:
+        for position, key in enumerate(keys):
+            if position in covered:
+                continue
+            hit = cache.get(key)
+            if hit is None:
+                continue
+            if not isinstance(hit, SweepPoint):
+                warnings.warn(
+                    CacheWarning(
+                        f"cache entry {key[:12]}... holds a "
+                        f"{type(hit).__name__}, not a sweep point; "
+                        "recomputing"
+                    ),
+                    stacklevel=3,
+                )
+                continue
+            covered.add(position)
+            cached += 1
+            results[position] = hit
+            if store is not None:
+                store.record(key, _job_coords(jobs[position]), hit)
+    pending_positions = [
+        position for position in range(len(jobs)) if position not in covered
+    ]
+    return results, resumed, cached, resumed_failures, pending_positions
+
+
 def sweep_use_case(
     levels: Sequence[H264Level],
     configs: Sequence[SystemConfig],
@@ -183,6 +308,7 @@ def sweep_use_case(
     checkpoint_force: bool = False,
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
+    cache: Optional[Union[str, Path, ResultCache]] = None,
 ) -> SweepReport:
     """Cartesian sweep of levels x configurations.
 
@@ -223,6 +349,22 @@ def sweep_use_case(
     counters (``sweep.timeouts``, ``sweep.watchdog_kills``,
     ``sweep.quarantined``) land in ``telemetry`` when given.
 
+    ``cache`` names a persistent content-addressed result store
+    directory (or passes a prepared
+    :class:`~repro.service.cache.ResultCache`; CLI ``--cache-dir``):
+    before anything is dispatched, every point's canonical key --
+    :func:`repro.keys.canonical_key` over the full job description
+    including the backend and engine version, the same key the
+    checkpoint uses -- is looked up there, and hits are served without
+    simulating.  Computed points are written back atomically, so a
+    warm cache replays a whole grid as pure lookups; failed or
+    quarantined points are never cached.  Corrupt or torn entries
+    degrade to a recompute with a
+    :class:`~repro.service.cache.CacheWarning` -- a damaged cache can
+    cost time, never correctness.  ``cache.hits`` / ``cache.misses`` /
+    ``cache.corrupt`` / ``cache.evictions`` counters land in
+    ``telemetry`` when given.
+
     ``progress`` receives a heartbeat per completed point (and a final
     summary) as :class:`~repro.telemetry.ProgressEvent`\\ s with
     done/total counts and an ETA, so long campaigns are observable.
@@ -255,48 +397,17 @@ def sweep_use_case(
         store = SweepCheckpoint(checkpoint, fsync=durable_checkpoint)
     else:
         store = None
-    results: List[Optional[SweepPoint]] = [None] * len(jobs)
-    resumed = 0
-    resumed_failures: List[JobFailure] = []
+    cache_store = resolve_cache(cache)
     if store is not None:
-        sweep_backends = {config.backend for config in configs}
-        foreign = store.recorded_backends() - sweep_backends
-        if foreign and not checkpoint_force:
-            raise CheckpointError(
-                f"checkpoint {store.path} holds points recorded under "
-                f"backend(s) {', '.join(sorted(foreign))}, but this sweep "
-                f"uses {', '.join(sorted(sweep_backends))}; mixing backends "
-                "in one checkpoint blends fidelities -- use a separate "
-                "checkpoint file, or pass --force / checkpoint_force=True "
-                "to proceed"
-            )
-        keys = [store.key_for(job) for job in jobs]
-        done = store.load()
-        covered = set()
-        for position, key in enumerate(keys):
-            if key not in done:
-                continue
-            covered.add(position)
-            resumed += 1
-            payload = done[key]
-            if isinstance(payload, JobFailure):
-                # A quarantined point from the previous run: yield the
-                # recorded failure instead of re-hanging on it.
-                resumed_failures.append(
-                    replace(
-                        payload,
-                        index=position,
-                        coords=_job_coords(jobs[position]),
-                    )
-                )
-            else:
-                results[position] = payload
-        pending_positions = [
-            position for position in range(len(jobs)) if position not in covered
-        ]
+        _refuse_backend_mixing(store, configs, checkpoint_force)
+    if store is not None or cache_store is not None:
+        keys = job_keys(jobs)
     else:
         keys = []
-        pending_positions = list(range(len(jobs)))
+    cache_before = cache_store.stats() if cache_store is not None else {}
+    results, resumed, cache_hits, resumed_failures, pending_positions = (
+        _fold_reuse(jobs, keys, store, cache_store)
+    )
     pending_jobs = [jobs[position] for position in pending_positions]
 
     if telemetry is not None:
@@ -308,6 +419,15 @@ def sweep_use_case(
         # Pre-register at zero so a fully resumed sweep still exports
         # the counter (a resumed campaign computed nothing, visibly).
         registry.counter("sweep.points_completed").add(0)
+        if cache_store is not None:
+            registry.counter("sweep.points_cached").add(cache_hits)
+            # Pre-register so a fully cold (or fully warm) run still
+            # exports every cache counter.
+            for name in (
+                "cache.hits", "cache.misses", "cache.corrupt",
+                "cache.evictions",
+            ):
+                registry.counter(name).add(0)
     tracker = (
         SweepProgress(progress, total=len(jobs), resumed=resumed)
         if progress is not None
@@ -315,7 +435,12 @@ def sweep_use_case(
     )
 
     on_result = None
-    if store is not None or tracker is not None or telemetry is not None:
+    if (
+        store is not None
+        or cache_store is not None
+        or tracker is not None
+        or telemetry is not None
+    ):
         point_timer = time.monotonic
         # Placeholder: re-stamped at dispatch so the first interval
         # sample measures point throughput, not setup done between
@@ -326,6 +451,10 @@ def sweep_use_case(
             position = pending_positions[local_index]
             if store is not None:
                 store.record(keys[position], _job_coords(jobs[position]), point)
+            if cache_store is not None:
+                cache_store.put(
+                    keys[position], point, _job_coords(jobs[position])
+                )
             if telemetry is not None:
                 # Wall-clock between successive completions; under a
                 # pool this is the effective per-point throughput, not
@@ -403,6 +532,14 @@ def sweep_use_case(
         telemetry.registry.counter("sweep.timeouts").add(watchdog.timeouts)
         telemetry.registry.counter("sweep.watchdog_kills").add(watchdog.kills)
         telemetry.registry.counter("sweep.quarantined").add(watchdog.quarantined)
+    if telemetry is not None and cache_store is not None:
+        # Delta against the pre-sweep snapshot, so a shared ResultCache
+        # instance attributes each sweep only its own traffic.
+        cache_after = cache_store.stats()
+        for name in ("hits", "misses", "corrupt", "evictions"):
+            telemetry.registry.counter(f"cache.{name}").add(
+                cache_after[name] - cache_before.get(name, 0)
+            )
 
     failures: List[JobFailure] = list(resumed_failures)
     for local_index, outcome in enumerate(outcomes):
@@ -437,6 +574,7 @@ def sweep_use_case(
         failures=failures,
         total=len(jobs),
         resumed=resumed,
+        cached=cache_hits,
     )
 
 

@@ -79,14 +79,36 @@ DECODE_CACHE_SIZE = 32
 
 #: Content-keyed LRU: (runs, mapping params) -> _DecodedStream.
 _DECODE_CACHE: "OrderedDict[tuple, _DecodedStream]" = OrderedDict()
-_CACHE_STATS = {"hits": 0, "misses": 0}
+_CACHE_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "lookups": 0,
+    "insertions": 0,
+    "evictions": 0,
+}
 
 
 def decode_cache_stats() -> dict:
-    """Hit/miss/size counters for the cross-point decode cache."""
+    """Counters of the cross-point decode cache.
+
+    The counters form a closed ledger -- after any sequence of
+    operations since the last :func:`clear_decode_cache`:
+
+    - ``hits + misses == lookups`` (every lookup is exactly one or the
+      other);
+    - every miss inserts, so ``insertions == misses``;
+    - ``evictions <= insertions`` (only inserted entries can be
+      evicted) and ``entries == insertions - evictions
+      <= DECODE_CACHE_SIZE``.
+
+    Pinned by a property test in ``tests/backends/test_batch.py``.
+    """
     return {
         "hits": _CACHE_STATS["hits"],
         "misses": _CACHE_STATS["misses"],
+        "lookups": _CACHE_STATS["lookups"],
+        "insertions": _CACHE_STATS["insertions"],
+        "evictions": _CACHE_STATS["evictions"],
         "entries": len(_DECODE_CACHE),
     }
 
@@ -94,8 +116,8 @@ def decode_cache_stats() -> dict:
 def clear_decode_cache() -> None:
     """Drop every cached segment table and reset the statistics."""
     _DECODE_CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    for name in _CACHE_STATS:
+        _CACHE_STATS[name] = 0
 
 
 class _DecodedStream:
@@ -200,6 +222,7 @@ def _decode_cached(
         mapping.xor_shift,
         mapping.xor_mask,
     )
+    _CACHE_STATS["lookups"] += 1
     cached = _DECODE_CACHE.get(key)
     if cached is not None:
         _DECODE_CACHE.move_to_end(key)
@@ -208,8 +231,10 @@ def _decode_cached(
     _CACHE_STATS["misses"] += 1
     decoded = _decode_stream(runs, mapping)
     _DECODE_CACHE[key] = decoded
+    _CACHE_STATS["insertions"] += 1
     while len(_DECODE_CACHE) > DECODE_CACHE_SIZE:
         _DECODE_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
     return decoded
 
 

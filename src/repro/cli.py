@@ -14,6 +14,7 @@ Usage::
     repro-sim verify-paper [--update] [--goldens DIR]
     repro-sim fuzz [--cases 100 --seed 0]
     repro-sim chaos [--seeds 1,5,17]
+    repro-sim sweep [--levels 3.1,4 --channels 1,2,4,8 --freqs 200,400]
     repro-sim all
 
 Every subcommand prints the regenerated table/figure as ASCII; pass
@@ -49,6 +50,20 @@ Fault tolerance (see :mod:`repro.resilience`):
   so ``--resume`` does not re-hang.
 - ``--no-strict`` degrades gracefully: failed sweep points render as
   ERR cells instead of aborting the artifact.
+- ``--cache-dir DIR`` attaches the persistent content-addressed result
+  cache (see :mod:`repro.service.cache`): every completed sweep point
+  is stored under its canonical job key (configuration, backend,
+  engine version) and served from disk on any later run -- across
+  subcommands and processes, so warming the cache once replays
+  fig3/fig4/fig5/verify-paper in seconds.  Corrupt entries degrade to
+  a recompute with a warning; under strict mode (the default) the run
+  then exits non-zero to flag the damaged store, under ``--no-strict``
+  it is tolerated silently.
+- ``sweep`` runs an ad-hoc (levels x channels x frequencies) grid
+  through the sharded sweep service (:mod:`repro.service`): the grid
+  is partitioned into work units and dispatched to the local executor
+  (``--shard-size``, ``--max-inflight``), folding through the same
+  checkpoint/cache stores as every figure.
 - ``--check-invariants`` audits every simulated command stream against
   the DRAM datasheet timing (slower; a validation mode).
 - ``chaos`` runs the seeded chaos campaign: a real sweep under
@@ -110,6 +125,7 @@ from repro.analysis.export import (
 )
 from repro.core.config import SystemConfig
 from repro.resilience import SweepCheckpoint
+from repro.service.executor import DEFAULT_SHARD_SIZE
 from repro.telemetry import StreamProgressSink, Telemetry, write_metrics
 from repro.usecase.levels import level_by_name
 
@@ -203,6 +219,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "wall-clock deadline per sweep point (watchdog supervision): "
             "hung points are killed, requeued, and quarantined as ERR "
             "cells when they hang on every attempt"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent content-addressed result cache: completed sweep "
+            "points are stored in DIR keyed by their full job description "
+            "(configuration, backend, engine version) and served from "
+            "disk on re-runs; corrupt entries are recomputed with a "
+            "warning (non-zero exit under strict mode)"
         ),
     )
     parser.add_argument(
@@ -388,8 +417,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume attempts per seed before giving up (default: 8)",
     )
 
+    p_sw = sub.add_parser(
+        "sweep",
+        help=(
+            "run an ad-hoc (levels x channels x frequencies) grid "
+            "through the sharded sweep service"
+        ),
+    )
+    p_sw.add_argument(
+        "--levels",
+        type=str,
+        default="3.1",
+        metavar="LIST",
+        help="comma-separated H.264 level names (default: 3.1)",
+    )
+    p_sw.add_argument(
+        "--channels",
+        type=str,
+        default="1,2,4,8",
+        metavar="LIST",
+        help="comma-separated channel counts (default: 1,2,4,8)",
+    )
+    p_sw.add_argument(
+        "--freqs",
+        type=str,
+        default="200,266,333,400",
+        metavar="LIST",
+        help="comma-separated interface clocks, MHz (default: 200,266,333,400)",
+    )
+    p_sw.add_argument(
+        "--shard-size",
+        type=int,
+        default=DEFAULT_SHARD_SIZE,
+        metavar="N",
+        help=(
+            "sweep points per work unit dispatched to the executor "
+            f"(default: {DEFAULT_SHARD_SIZE})"
+        ),
+    )
+    p_sw.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="work units in flight concurrently (default: 4)",
+    )
+
     sub.add_parser("all", help="run every artifact in paper order")
     return parser
+
+
+def _split_csv(text: str, cast, flag: str) -> List:
+    """Parse one comma-separated CLI list, failing with the flag name."""
+    try:
+        values = [cast(part.strip()) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"{flag} must be a comma-separated list, got {text!r}")
+    if not values:
+        raise SystemExit(f"{flag} needs at least one value")
+    return values
 
 
 def _csv_dir(args: argparse.Namespace) -> Optional[Path]:
@@ -445,10 +531,20 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         kwargs["strict"] = False
     if args.check_invariants:
         kwargs["base_config"] = SystemConfig(check_invariants=True, **backend_kw)
+    cache_store = None
+    if args.cache_dir is not None:
+        from repro.service.cache import ResultCache
+
+        # One instance for the whole command, so its statistics cover
+        # every sweep the command ran (and the corrupt-entry check
+        # below sees all of them).
+        cache_store = ResultCache(args.cache_dir)
+        kwargs["cache"] = cache_store
     explore_kwargs = {
         k: v
         for k, v in kwargs.items()
-        if k in ("chunk_budget", "workers", "strict", "backend", "point_timeout")
+        if k
+        in ("chunk_budget", "workers", "strict", "backend", "point_timeout", "cache")
     }
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
@@ -575,6 +671,7 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
             workers=args.workers,
             telemetry=telemetry,
             progress=kwargs.get("progress"),
+            cache=cache_store,
         )
         if args.update:
             written = update_goldens(
@@ -651,6 +748,68 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         sections.append(report.format())
         if not report.passed:
             exit_code = 1
+    if command == "sweep":
+        from repro.service import LocalExecutor, run_service_sweep
+        from repro.analysis.tables import format_table
+
+        levels = [
+            level_by_name(name)
+            for name in _split_csv(args.levels, str, "--levels")
+        ]
+        channel_counts = _split_csv(args.channels, int, "--channels")
+        freqs = _split_csv(args.freqs, float, "--freqs")
+        invariants_kw = (
+            {"check_invariants": True} if args.check_invariants else {}
+        )
+        configs = [
+            SystemConfig(
+                channels=m, freq_mhz=f, **invariants_kw, **backend_kw
+            )
+            for f in freqs
+            for m in channel_counts
+        ]
+        executor = LocalExecutor(
+            workers=args.workers, point_timeout=args.point_timeout
+        )
+        service_kwargs = {}
+        if args.scale is not None:
+            service_kwargs["scale"] = args.scale
+        if args.budget is not None:
+            service_kwargs["chunk_budget"] = args.budget
+        report = run_service_sweep(
+            levels,
+            configs,
+            executor=executor,
+            shard_size=args.shard_size,
+            max_inflight=args.max_inflight,
+            checkpoint=kwargs.get("checkpoint"),
+            cache=cache_store,
+            strict=args.strict,
+            telemetry=telemetry,
+            progress=kwargs.get("progress"),
+            checkpoint_force=args.force,
+            durable_checkpoint=args.durable_checkpoint,
+            **service_kwargs,
+        )
+        sections.append(
+            f"== Service sweep: {len(levels)} level(s) x "
+            f"{len(configs)} config(s) via {executor.describe()} =="
+        )
+        rows = [["Level", "Channels", "Clock [MHz]", "Access [ms]", "Verdict"]]
+        for point in report:
+            rows.append(
+                [
+                    point.level.column_title,
+                    str(point.config.channels),
+                    f"{point.config.freq_mhz:g}",
+                    f"{point.access_time_ms:.1f}",
+                    str(point.verdict),
+                ]
+            )
+        sections.append(format_table(rows))
+        sections.append(report.summary())
+        if report.failures:
+            sections.append(report.format_failures())
     if command == "profile":
         figure = args.figure
         if figure == "fig3":
@@ -665,6 +824,24 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         sections.append(telemetry.profile_report().format())
         sections.append("== Metrics ==")
         sections.append(_format_metrics_summary(telemetry))
+    if cache_store is not None:
+        stats = cache_store.stats()
+        sections.append(
+            f"cache {args.cache_dir}: {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), {stats['writes']} write(s), "
+            f"{stats['corrupt']} corrupt, {stats['evictions']} evicted"
+        )
+        if stats["corrupt"] and args.strict:
+            # The damaged entries were already recomputed (the artifact
+            # above is correct); the non-zero exit flags the store so
+            # operators notice before the next hundred runs re-pay the
+            # misses.  --no-strict tolerates a self-healing cache.
+            sections.append(
+                f"CACHE CORRUPTION: {stats['corrupt']} entr(y/ies) were "
+                "ignored and recomputed (results are unaffected); "
+                "failing under strict mode -- use --no-strict to tolerate"
+            )
+            exit_code = max(exit_code, 1)
     if args.metrics_out is not None:
         write_metrics(args.metrics_out, command, telemetry, backend=args.backend)
         sections.append(f"wrote metrics to {args.metrics_out}")

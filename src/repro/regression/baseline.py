@@ -255,6 +255,7 @@ def capture_goldens(
     workers: Optional[int] = None,
     telemetry=None,
     progress=None,
+    cache=None,
 ) -> Dict[str, Dict[str, object]]:
     """Regenerate every artifact and package it as golden payloads.
 
@@ -281,6 +282,7 @@ def capture_goldens(
         backend=backend,
         telemetry=telemetry,
         progress=progress,
+        cache=cache,
     )
 
     table1 = run_table1()
@@ -586,6 +588,7 @@ def verify_paper(
     workers: Optional[int] = None,
     telemetry=None,
     progress=None,
+    cache=None,
 ) -> PaperVerification:
     """Regenerate every artifact and check it against the goldens.
 
@@ -600,7 +603,10 @@ def verify_paper(
 
     ``telemetry`` (when given) counts every compared cell into
     ``regression.cases`` and every failing cell into
-    ``regression.mismatches``.
+    ``regression.mismatches``.  ``cache`` names a persistent
+    content-addressed result store directory (CLI ``--cache-dir``):
+    cached points are bit-identical to fresh ones, so a warm cache
+    verifies the paper in seconds without weakening the comparison.
     """
     from repro.analysis.experiments import run_fig3, run_fig5, run_table1, run_table2
     from repro.backends.registry import default_backend_name, get_backend
@@ -620,6 +626,7 @@ def verify_paper(
         backend=backend,
         telemetry=telemetry,
         progress=progress,
+        cache=cache,
     )
     fig3 = run_fig3(**sweep_kwargs)
     fig5 = run_fig5(**sweep_kwargs)
@@ -662,6 +669,7 @@ def update_goldens(
     workers: Optional[int] = None,
     telemetry=None,
     progress=None,
+    cache=None,
 ) -> List[Path]:
     """Recapture and write the golden files (CLI ``--update``)."""
     payloads = capture_goldens(
@@ -670,5 +678,6 @@ def update_goldens(
         workers=workers,
         telemetry=telemetry,
         progress=progress,
+        cache=cache,
     )
     return write_goldens(payloads, directory)

@@ -5,18 +5,27 @@ completed sweep point, written (and flushed) the moment the point
 finishes, so an interrupted 100-point sweep that died at point 70
 resumes with exactly 30 points of work.
 
-Line format (version 1)::
+Line format (version 2)::
 
-    {"v": 1, "key": "<sha256 of the job description>",
+    {"v": 2, "key": "<canonical sha256 of the job description>",
      "coords": {"level": "4", "channels": 4, "freq_mhz": 400.0},
      "data": "<base64(zlib(pickle(result)))>"}
 
-- ``key`` identifies the point: a SHA-256 over the ``repr`` of the
-  full job description (level, configuration, scale, budget, block
-  size).  Two sweeps share work if and only if their job descriptions
-  match exactly, so a checkpoint file can safely be shared between
-  e.g. the Fig. 4 and Fig. 5 runners (which sweep identical points)
-  while a changed configuration never aliases a stale result.
+- ``key`` identifies the point: the :func:`repro.keys.canonical_key`
+  of the full job description (level, configuration -- including its
+  ``backend`` -- scale, budget, block size) plus the engine version.
+  Two sweeps share work if and only if their job descriptions match
+  exactly, so a checkpoint file can safely be shared between e.g. the
+  Fig. 4 and Fig. 5 runners (which sweep identical points) while a
+  changed configuration never aliases a stale result.  The same key
+  function addresses the persistent result cache
+  (:mod:`repro.service.cache`), so checkpoint and cache never disagree
+  about what "the same point" means.  Version-1 files keyed by
+  ``sha256(repr(job))`` -- which omitted the backend and engine
+  version -- are refused with a :class:`~repro.errors.CheckpointError`
+  explaining the migration (delete the file, or re-run without
+  ``--resume``): serving a v1 point would trust a key that cannot
+  distinguish backends.
 - ``coords`` is a small human-readable coordinate dict, so a plain
   ``grep``/``jq`` over the file shows which points are done.
 - ``data`` is the pickled result payload; pickling (rather than a
@@ -47,7 +56,6 @@ opt-in (``--durable-checkpoint`` on the CLI).
 from __future__ import annotations
 
 import base64
-import hashlib
 import json
 import os
 import pickle
@@ -57,12 +65,17 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.errors import CheckpointError
+from repro.keys import canonical_key
 from repro.resilience.faults import TornWriteInjected, maybe_torn_write
 
 PathLike = Union[str, Path]
 
-#: Current checkpoint line format version.
-CHECKPOINT_VERSION = 1
+#: Current checkpoint line format version.  Version 1 keyed points by
+#: ``sha256(repr(job))``, which omitted the simulation backend and the
+#: engine version; version 2 keys are :func:`repro.keys.canonical_key`
+#: digests (sorted-JSON projection + ENGINE_VERSION), shared with the
+#: result cache.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointWarning(UserWarning):
@@ -86,12 +99,17 @@ class SweepCheckpoint:
     def key_for(job: Any) -> str:
         """Stable content key for one job description.
 
-        ``repr`` of the plain dataclasses/enums/numbers making up a
-        sweep job is deterministic across processes and runs (unlike
+        Delegates to :func:`repro.keys.canonical_key`: a SHA-256 over
+        the sorted-JSON projection of the description plus the engine
+        version -- deterministic across processes and runs (unlike
         ``hash()``, which is salted, or ``pickle``, whose byte stream
-        is not guaranteed stable across versions).
+        is not guaranteed stable across versions) and robust to
+        dataclass refactors that would silently change a ``repr``.
+        The sweep runners pass a description that includes the
+        simulation backend, so a backend switch can never alias a
+        stale point.
         """
-        return hashlib.sha256(repr(job).encode("utf-8")).hexdigest()
+        return canonical_key(job)
 
     def load(self) -> Dict[str, Any]:
         """Read all completed points: ``{key: result}``.
@@ -136,6 +154,15 @@ class SweepCheckpoint:
                     # line like any other truncated write.
                     skipped += 1
                     continue
+                if entry.get("v") == 1:
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: version-1 checkpoint "
+                        "entries are keyed by sha256(repr(job)), which "
+                        "omits the simulation backend and the engine "
+                        "version; resuming from them could alias stale "
+                        "results.  Delete the file (or re-run without "
+                        "--resume) to recompute under canonical v2 keys"
+                    )
                 raise CheckpointError(
                     f"{self.path}:{lineno}: unsupported checkpoint "
                     f"version {entry.get('v')!r} "

@@ -144,6 +144,7 @@ class SweepReport(Sequence):
         failures: Sequence[JobFailure] = (),
         total: Optional[int] = None,
         resumed: int = 0,
+        cached: int = 0,
     ) -> None:
         self.points: List[Any] = list(points)
         self.failures: List[JobFailure] = list(failures)
@@ -154,6 +155,10 @@ class SweepReport(Sequence):
         #: How many points were restored from a checkpoint rather than
         #: recomputed.
         self.resumed: int = resumed
+        #: How many points were served from the content-addressed
+        #: result cache (see :mod:`repro.service.cache`) rather than
+        #: recomputed.
+        self.cached: int = cached
 
     # -- Sequence over the successful points ---------------------------
 
@@ -184,6 +189,8 @@ class SweepReport(Sequence):
         parts = [f"{len(self.points)}/{self.total} points completed"]
         if self.resumed:
             parts.append(f"{self.resumed} resumed from checkpoint")
+        if self.cached:
+            parts.append(f"{self.cached} served from cache")
         if self.failures:
             parts.append(f"{len(self.failures)} failed")
         return ", ".join(parts)

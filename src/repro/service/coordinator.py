@@ -1,0 +1,356 @@
+"""Sharded sweep coordinator: the sweep engine as an async job service.
+
+:func:`sweep_use_case` runs one grid as one ``parallel_map`` call.
+That is the right shape for a laptop, but it welds the sweep to a
+single local pool: there is no unit of work smaller than "the whole
+grid" to hand to anything else.  The coordinator here re-expresses a
+sweep as a *service*: the grid is partitioned into
+:class:`~repro.service.executor.WorkUnit` shards, each shard is
+dispatched to an :class:`~repro.service.executor.Executor` (today the
+in-tree :class:`~repro.service.executor.LocalExecutor`; a remote
+executor slots in behind the same interface), and the coordinator
+folds streamed outcomes back into grid order through exactly the
+stores the engine already trusts -- the JSON-lines checkpoint, the
+content-addressed result cache, telemetry counters and progress
+beats.
+
+The coordination layer is deliberately thin on semantics: keys,
+checkpoint format, cache format, quarantine rules and the refusal to
+mix backends are all the engine's (imported from
+:mod:`repro.analysis.sweep` and :mod:`repro.resilience`), so a sweep
+run through the service is bit-identical to -- and shares stored work
+with -- one run through :func:`sweep_use_case`.
+
+Concurrency model: the coordinator is an ``asyncio`` event loop
+dispatching units onto worker threads (:func:`asyncio.to_thread`),
+bounded by ``max_inflight``.  Executor outcome callbacks fire on those
+threads, so the fold (checkpoint append, cache write, progress beat,
+counter bump) is serialised under one lock -- the checkpoint file has
+a single append cursor no matter how many units are in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.sweep import (
+    SweepJob,
+    SweepPoint,
+    _fold_reuse,
+    _job_coords,
+    _job_description,
+    _refuse_backend_mixing,
+    _sweep_point_job,
+    job_keys,
+)
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError, WorkerError
+from repro.load.model import DEFAULT_BLOCK_BYTES
+from repro.load.scaling import DEFAULT_CHUNK_BUDGET
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.report import JobFailure, SweepReport
+from repro.service.cache import ResultCache, resolve_cache
+from repro.service.executor import (
+    DEFAULT_SHARD_SIZE,
+    Executor,
+    LocalExecutor,
+    WorkUnit,
+    partition,
+)
+from repro.telemetry.progress import ProgressSink, SweepProgress
+from repro.telemetry.session import Telemetry
+from repro.usecase.levels import H264Level
+
+#: Default bound on units dispatched concurrently.  Units already fan
+#: out internally (the local executor runs one pool per unit), so a
+#: small in-flight window keeps the fold streaming without stacking
+#: pools.
+DEFAULT_MAX_INFLIGHT = 4
+
+
+class SweepCoordinator:
+    """Partitions sweep grids into work units and runs them through an
+    executor, folding outcomes into the engine's stores.
+
+    One coordinator instance is reusable across runs; per-run state
+    (results, locks, counters) lives in the ``run`` call.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ) -> None:
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.executor = executor if executor is not None else LocalExecutor()
+        self.shard_size = shard_size
+        self.max_inflight = max_inflight
+
+    async def run(
+        self,
+        levels: Sequence[H264Level],
+        configs: Sequence[SystemConfig],
+        scale: Optional[float] = None,
+        chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        checkpoint: Optional[Union[str, Path, SweepCheckpoint]] = None,
+        cache: Optional[Union[str, Path, ResultCache]] = None,
+        strict: bool = True,
+        telemetry: Optional[Telemetry] = None,
+        progress: Optional[ProgressSink] = None,
+        backend: Optional[str] = None,
+        checkpoint_force: bool = False,
+        durable_checkpoint: bool = False,
+    ) -> SweepReport:
+        """Run the levels x configs grid through the executor.
+
+        Accepts the same stores and semantics as
+        :func:`repro.analysis.sweep.sweep_use_case` (checkpoint
+        resume, backend-mixing refusal, content-addressed cache,
+        ``strict`` fail-fast vs graceful degradation) and returns the
+        same :class:`~repro.resilience.report.SweepReport`, with
+        points in levels-major grid order bit-identical to the
+        single-process engine.
+        """
+        if not levels or not configs:
+            raise ConfigurationError(
+                "sweep needs at least one level and one config"
+            )
+        if backend is not None:
+            configs = [config.with_backend(backend) for config in configs]
+        jobs: List[SweepJob] = [
+            (index, level, config, scale, chunk_budget, block_bytes)
+            for index, (level, config) in enumerate(
+                (level, config) for level in levels for config in configs
+            )
+        ]
+
+        if isinstance(checkpoint, SweepCheckpoint):
+            store: Optional[SweepCheckpoint] = checkpoint
+            if durable_checkpoint:
+                store.fsync = True
+        elif checkpoint is not None:
+            store = SweepCheckpoint(checkpoint, fsync=durable_checkpoint)
+        else:
+            store = None
+        cache_store = resolve_cache(cache)
+        if store is not None:
+            _refuse_backend_mixing(store, configs, checkpoint_force)
+        keys = job_keys(jobs)
+        cache_before = (
+            cache_store.stats() if cache_store is not None else {}
+        )
+        results, resumed, cache_hits, resumed_failures, pending_positions = (
+            _fold_reuse(jobs, keys, store, cache_store)
+        )
+        pending_jobs = [jobs[position] for position in pending_positions]
+        units = (
+            partition(pending_positions, pending_jobs, self.shard_size)
+            if pending_jobs
+            else []
+        )
+
+        if telemetry is not None:
+            registry = telemetry.registry
+            registry.counter("sweep.points_total").add(len(jobs))
+            for name in sorted({config.backend for config in configs}):
+                registry.counter(f"sweep.backend.{name}").add(1)
+            registry.counter("sweep.points_resumed").add(resumed)
+            registry.counter("sweep.points_completed").add(0)
+            registry.counter("service.units_total").add(len(units))
+            registry.counter("service.units_completed").add(0)
+            if cache_store is not None:
+                registry.counter("sweep.points_cached").add(cache_hits)
+                for name in (
+                    "cache.hits", "cache.misses", "cache.corrupt",
+                    "cache.evictions",
+                ):
+                    registry.counter(name).add(0)
+        tracker = (
+            SweepProgress(progress, total=len(jobs), resumed=resumed)
+            if progress is not None
+            else None
+        )
+
+        # Executor callbacks fire on dispatch threads; everything they
+        # touch (checkpoint append cursor, cache writes, telemetry
+        # registry, progress tracker) folds under one lock.
+        fold_lock = threading.Lock()
+
+        def on_unit_result(unit: WorkUnit, local: int, point: SweepPoint) -> None:
+            position = unit.positions[local]
+            with fold_lock:
+                if store is not None:
+                    store.record(
+                        keys[position], _job_coords(jobs[position]), point
+                    )
+                if cache_store is not None:
+                    cache_store.put(
+                        keys[position], point, _job_coords(jobs[position])
+                    )
+                if telemetry is not None:
+                    telemetry.registry.counter("sweep.points_completed").add(1)
+                if tracker is not None:
+                    tracker.point_done(_job_coords(jobs[position]))
+
+        def on_unit_failure(
+            unit: WorkUnit, local: int, failure: JobFailure
+        ) -> None:
+            if store is None or not failure.quarantined:
+                # Deterministic errors are recomputed on resume; only
+                # quarantines (the points that would re-hang) persist.
+                return
+            position = unit.positions[local]
+            with fold_lock:
+                store.record(
+                    keys[position],
+                    _job_coords(jobs[position]),
+                    replace(
+                        failure,
+                        index=position,
+                        coords=_job_coords(jobs[position]),
+                    ),
+                )
+
+        gate = asyncio.Semaphore(self.max_inflight)
+
+        async def run_unit(unit: WorkUnit) -> List[object]:
+            async with gate:
+                outcomes = await asyncio.to_thread(
+                    self.executor.execute,
+                    _sweep_point_job,
+                    unit,
+                    lambda local, point, _unit=unit: on_unit_result(
+                        _unit, local, point
+                    ),
+                    lambda local, failure, _unit=unit: on_unit_failure(
+                        _unit, local, failure
+                    ),
+                )
+                if telemetry is not None:
+                    with fold_lock:
+                        telemetry.registry.counter(
+                            "service.units_completed"
+                        ).add(1)
+                return outcomes
+
+        sweep_timer = (
+            telemetry.registry.timer("sweep.run")
+            if telemetry is not None
+            else None
+        )
+        start = time.perf_counter()
+        unit_outcomes = await asyncio.gather(
+            *(run_unit(unit) for unit in units)
+        )
+        if sweep_timer is not None:
+            sweep_timer.record(time.perf_counter() - start)
+        if telemetry is not None and cache_store is not None:
+            cache_after = cache_store.stats()
+            for name in ("hits", "misses", "corrupt", "evictions"):
+                telemetry.registry.counter(f"cache.{name}").add(
+                    cache_after[name] - cache_before.get(name, 0)
+                )
+
+        failures: List[JobFailure] = list(resumed_failures)
+        for unit, outcomes in zip(units, unit_outcomes):
+            for local, outcome in enumerate(outcomes):
+                position = unit.positions[local]
+                if isinstance(outcome, JobFailure):
+                    failures.append(
+                        replace(
+                            outcome,
+                            index=position,
+                            coords=_job_coords(jobs[position]),
+                        )
+                    )
+                else:
+                    results[position] = outcome
+        failures.sort(key=lambda failure: failure.index)
+
+        if telemetry is not None:
+            telemetry.registry.counter("sweep.points_failed").add(len(failures))
+        if tracker is not None:
+            tracker.finish(failed=len(failures))
+
+        if strict and failures:
+            first = failures[0]
+            raise WorkerError(
+                f"sweep point {dict(first.coords)} failed: "
+                f"{first.error_type}: {first.message}",
+                coords=first.coords,
+                traceback=first.traceback,
+            )
+        return SweepReport(
+            points=[point for point in results if point is not None],
+            failures=failures,
+            total=len(jobs),
+            resumed=resumed,
+            cached=cache_hits,
+        )
+
+
+def run_service_sweep(
+    levels: Sequence[H264Level],
+    configs: Sequence[SystemConfig],
+    scale: Optional[float] = None,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    executor: Optional[Executor] = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    checkpoint: Optional[Union[str, Path, SweepCheckpoint]] = None,
+    cache: Optional[Union[str, Path, ResultCache]] = None,
+    strict: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressSink] = None,
+    backend: Optional[str] = None,
+    checkpoint_force: bool = False,
+    durable_checkpoint: bool = False,
+) -> SweepReport:
+    """Synchronous front door of the sweep service.
+
+    Builds a :class:`SweepCoordinator` and drives one grid through it
+    on a private event loop; see :meth:`SweepCoordinator.run` for the
+    semantics.  Raises :class:`~repro.errors.ConfigurationError` when
+    called from inside a running event loop -- an async caller should
+    ``await`` the coordinator directly instead of nesting loops.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        pass
+    else:
+        raise ConfigurationError(
+            "run_service_sweep starts its own event loop; await "
+            "SweepCoordinator.run(...) from async code instead"
+        )
+    coordinator = SweepCoordinator(
+        executor=executor, shard_size=shard_size, max_inflight=max_inflight
+    )
+    return asyncio.run(
+        coordinator.run(
+            levels,
+            configs,
+            scale=scale,
+            chunk_budget=chunk_budget,
+            block_bytes=block_bytes,
+            checkpoint=checkpoint,
+            cache=cache,
+            strict=strict,
+            telemetry=telemetry,
+            progress=progress,
+            backend=backend,
+            checkpoint_force=checkpoint_force,
+            durable_checkpoint=durable_checkpoint,
+        )
+    )

@@ -1,0 +1,195 @@
+"""Work units and the executor interface of the sweep service.
+
+The coordinator (:mod:`repro.service.coordinator`) slices a sweep grid
+into :class:`WorkUnit`\\ s and hands each one to an
+:class:`Executor`.  The interface is deliberately narrow -- "run these
+jobs, stream back per-job outcomes" -- so that *where* a unit runs is
+a deployment decision, not an engine change: the built-in
+:class:`LocalExecutor` fans a unit out over local worker processes,
+and a remote executor (one that ships units to another machine and
+streams outcomes back) slots in behind the identical contract without
+touching the coordinator.
+
+Failure semantics are inherited wholesale from
+:func:`repro.parallel.parallel_map`: deterministic job failures come
+back as :class:`~repro.resilience.report.JobFailure` records, hung
+jobs are killed/requeued/quarantined under the per-executor watchdog
+deadline, and transient pool failures retry and then fall back
+in-process.  An executor never raises for a job-level problem -- only
+for caller errors (a raising callback) or misconfiguration.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.resilience.report import JobFailure
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import Watchdog
+
+#: Default jobs per work unit: small enough that a shard finishing
+#: streams results (checkpoint lines, progress beats) at a readable
+#: cadence, large enough that per-unit pool overhead amortises.
+DEFAULT_SHARD_SIZE = 8
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of a sweep grid: a contiguous slice of its jobs.
+
+    ``positions`` are the jobs' global grid positions, so the
+    coordinator can fold a unit's outcomes back into grid order no
+    matter when (or where) the unit completes.
+    """
+
+    unit_id: int
+    positions: Tuple[int, ...]
+    jobs: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.positions) != len(self.jobs):
+            raise ConfigurationError(
+                f"work unit {self.unit_id}: {len(self.positions)} "
+                f"position(s) vs {len(self.jobs)} job(s)"
+            )
+        if not self.jobs:
+            raise ConfigurationError(f"work unit {self.unit_id} is empty")
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def partition(
+    positions: Sequence[int],
+    jobs: Sequence[Any],
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> List[WorkUnit]:
+    """Slice ``jobs`` (with their grid ``positions``) into work units.
+
+    Order-preserving contiguous slicing: unit *k* holds jobs
+    ``[k*shard_size, (k+1)*shard_size)``.  Contiguity keeps checkpoint
+    append order close to grid order, which keeps resume scans and
+    human forensics pleasant; correctness never depends on it.
+    """
+    if shard_size < 1:
+        raise ConfigurationError(
+            f"shard_size must be >= 1, got {shard_size}"
+        )
+    if len(positions) != len(jobs):
+        raise ConfigurationError(
+            f"{len(positions)} position(s) vs {len(jobs)} job(s)"
+        )
+    units: List[WorkUnit] = []
+    for start in range(0, len(jobs), shard_size):
+        stop = start + shard_size
+        units.append(
+            WorkUnit(
+                unit_id=len(units),
+                positions=tuple(positions[start:stop]),
+                jobs=tuple(jobs[start:stop]),
+            )
+        )
+    return units
+
+
+class Executor(ABC):
+    """Something that can run one work unit's jobs to completion.
+
+    ``execute`` must return one outcome per job, in the unit's job
+    order: the computed value, or a
+    :class:`~repro.resilience.report.JobFailure` for a job written off
+    deterministically (including quarantine).  ``on_result`` /
+    ``on_failure`` (when given) must be called with the *unit-local*
+    index the moment each job settles, from the calling thread's
+    process -- the coordinator builds its streaming fold (checkpoint
+    appends, cache writes, progress beats) on that contract.
+    Exceptions raised by the callbacks are caller errors and must
+    propagate unchanged.
+    """
+
+    @abstractmethod
+    def execute(
+        self,
+        fn: Callable[[Any], Any],
+        unit: WorkUnit,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        on_failure: Optional[Callable[[int, JobFailure], None]] = None,
+    ) -> List[Union[Any, JobFailure]]:
+        """Run every job of ``unit``; outcomes in unit job order."""
+
+    def describe(self) -> str:
+        """Human-readable executor description for logs/metrics."""
+        return type(self).__name__
+
+
+class LocalExecutor(Executor):
+    """Runs work units on local worker processes.
+
+    A thin, thread-safe adapter over
+    :func:`repro.parallel.parallel_map`: ``workers`` fans one unit's
+    jobs out in-process or across a process pool, ``point_timeout``
+    arms a fresh :class:`~repro.resilience.supervisor.Watchdog` per
+    unit (the instance aggregates their kill/timeout/quarantine
+    statistics across units, so the coordinator reports one set of
+    supervision counters), ``retry`` overrides the transient-failure
+    backoff.  Safe to call from multiple coordinator threads at once:
+    each call builds its own watchdog and pool.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        point_timeout: Optional[float] = None,
+    ) -> None:
+        self.workers = workers
+        self.retry = retry
+        self.point_timeout = point_timeout
+        self.timeouts = 0
+        self.kills = 0
+        self.quarantined = 0
+        self._stats_lock = threading.Lock()
+
+    def execute(
+        self,
+        fn: Callable[[Any], Any],
+        unit: WorkUnit,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        on_failure: Optional[Callable[[int, JobFailure], None]] = None,
+    ) -> List[Union[Any, JobFailure]]:
+        from repro.parallel import parallel_map  # runtime import: no cycle
+
+        watchdog = (
+            Watchdog(self.point_timeout)
+            if self.point_timeout is not None
+            else None
+        )
+        try:
+            return parallel_map(
+                fn,
+                unit.jobs,
+                workers=self.workers,
+                retry=self.retry,
+                capture_failures=True,
+                on_result=on_result,
+                on_failure=on_failure,
+                watchdog=watchdog,
+            )
+        finally:
+            if watchdog is not None:
+                with self._stats_lock:
+                    self.timeouts += watchdog.timeouts
+                    self.kills += watchdog.kills
+                    self.quarantined += watchdog.quarantined
+
+    def describe(self) -> str:
+        deadline = (
+            f", point_timeout={self.point_timeout:g}s"
+            if self.point_timeout is not None
+            else ""
+        )
+        return f"LocalExecutor(workers={self.workers!r}{deadline})"

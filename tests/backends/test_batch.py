@@ -7,7 +7,11 @@ cross-point decode cache, and the exact-fallback paths that delegate
 to the reference stepper.
 """
 
+from collections import OrderedDict
+
+import hypothesis
 import pytest
+from hypothesis import strategies as st
 
 np = pytest.importorskip("numpy", reason="batch backend needs numpy")
 
@@ -74,6 +78,78 @@ class TestDecodeCache:
         for i in range(batch_module.DECODE_CACHE_SIZE + 4):
             Channel(config).run([(0, i * 16, 64)])
         assert len(batch_module._DECODE_CACHE) == batch_module.DECODE_CACHE_SIZE
+
+    def test_stats_ledger_closes_after_real_runs(self, fresh_cache):
+        # Overflow the cache with distinct run lists, revisit a few:
+        # the counters must close as a ledger, not merely trend.
+        config = SystemConfig(channels=1, backend="batch")
+        for i in range(batch_module.DECODE_CACHE_SIZE + 6):
+            Channel(config).run([(0, i * 16, 64)])
+        Channel(config).run([(0, (batch_module.DECODE_CACHE_SIZE + 5) * 16, 64)])
+        stats = batch_module.decode_cache_stats()
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
+        assert stats["insertions"] == stats["misses"]
+        assert stats["evictions"] <= stats["insertions"]
+        assert stats["entries"] == stats["insertions"] - stats["evictions"]
+        assert stats["entries"] <= batch_module.DECODE_CACHE_SIZE
+        assert stats["evictions"] == 6
+        assert stats["hits"] == 1
+
+
+class TestDecodeCacheLedgerProperty:
+    """Property test: the decode-cache counters form a closed ledger
+    under *any* lookup sequence, including eviction churn.
+
+    Drives :func:`batch._decode_cached` directly with a stubbed decode
+    (the ledger does not care what a segment table contains) and
+    checks, after every single operation, the invariants documented on
+    :func:`batch.decode_cache_stats` plus exact hit/miss agreement
+    with a model LRU.
+    """
+
+    class _StubMapping:
+        bank_shift = bank_mask = row_shift = row_mask = 0
+        xor_shift = xor_mask = 0
+
+    @hypothesis.given(
+        sequence=st.lists(
+            st.integers(min_value=0, max_value=2 * batch_module.DECODE_CACHE_SIZE),
+            max_size=150,
+        )
+    )
+    def test_ledger_invariants_hold_after_every_op(self, sequence):
+        real_decode = batch_module._decode_stream
+        batch_module._decode_stream = lambda runs, mapping: object()
+        batch_module.clear_decode_cache()
+        try:
+            model = OrderedDict()
+            model_hits = 0
+            for key_id in sequence:
+                runs = ((0, key_id, 0, 0),)
+                batch_module._decode_cached(runs, self._StubMapping())
+                if key_id in model:
+                    model.move_to_end(key_id)
+                    model_hits += 1
+                else:
+                    model[key_id] = True
+                    while len(model) > batch_module.DECODE_CACHE_SIZE:
+                        model.popitem(last=False)
+                stats = batch_module.decode_cache_stats()
+                assert stats["hits"] + stats["misses"] == stats["lookups"]
+                assert stats["insertions"] == stats["misses"]
+                assert stats["evictions"] <= stats["insertions"]
+                assert (
+                    stats["entries"]
+                    == stats["insertions"] - stats["evictions"]
+                )
+                assert stats["entries"] <= batch_module.DECODE_CACHE_SIZE
+                assert stats["hits"] == model_hits
+                assert stats["entries"] == len(model)
+            stats = batch_module.decode_cache_stats()
+            assert stats["lookups"] == len(sequence)
+        finally:
+            batch_module._decode_stream = real_decode
+            batch_module.clear_decode_cache()
 
 
 class TestFallbacks:

@@ -93,6 +93,25 @@ class TestStore:
         ):
             store.load()
 
+    def test_v1_interior_line_raises_migration_error(self, tmp_path):
+        # Version-1 entries were keyed by sha256(repr(job)), which
+        # omits the backend and engine version; silently resuming from
+        # one could alias a stale result, so a v1 line that is provably
+        # not torn (a valid line follows it) must refuse loudly and
+        # explain the migration.
+        path = tmp_path / "old.ckpt"
+        store = SweepCheckpoint(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"v": 1, "key": "deadbeef", "data": ""}) + "\n"
+            )
+        store.record(store.key_for("fresh"), {}, 1)
+        with pytest.raises(
+            CheckpointError, match=r"sha256\(repr\(job\)\).*--resume"
+        ) as excinfo:
+            store.load()
+        assert "backend" in str(excinfo.value)
+
     def test_foreign_json_raises(self, tmp_path):
         path = tmp_path / "f.ckpt"
         path.write_text('{"not": "a checkpoint"}\n')

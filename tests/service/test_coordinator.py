@@ -1,0 +1,187 @@
+"""Tests for the sharded sweep service
+(:mod:`repro.service.coordinator` / :mod:`repro.service.executor`)."""
+
+import asyncio
+
+import pytest
+
+from repro.analysis.sweep import sweep_use_case
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError, WorkerError
+from repro.regression.fuzzer import _diff_exact
+from repro.resilience import SweepCheckpoint, faults
+from repro.resilience.report import JobFailure
+from repro.service import (
+    LocalExecutor,
+    SweepCoordinator,
+    WorkUnit,
+    partition,
+    run_service_sweep,
+)
+from repro.service.cache import ResultCache
+from repro.telemetry import Telemetry
+from repro.usecase.levels import level_by_name
+
+SCALE = 1 / 256
+LEVELS = [level_by_name("3.1")]
+CONFIGS = [
+    SystemConfig(channels=1),
+    SystemConfig(channels=2),
+    SystemConfig(channels=4),
+]
+
+
+class TestPartition:
+    def test_contiguous_slices_in_order(self):
+        units = partition([10, 11, 12, 13, 14], list("abcde"), shard_size=2)
+        assert [unit.unit_id for unit in units] == [0, 1, 2]
+        assert [unit.positions for unit in units] == [(10, 11), (12, 13), (14,)]
+        assert [unit.jobs for unit in units] == [("a", "b"), ("c", "d"), ("e",)]
+
+    def test_shard_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            partition([0], ["a"], shard_size=0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition([0, 1], ["a"], shard_size=2)
+
+    def test_empty_unit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkUnit(unit_id=0, positions=(), jobs=())
+
+    def test_unit_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkUnit(unit_id=0, positions=(0,), jobs=("a", "b"))
+
+
+class TestLocalExecutor:
+    def test_outcomes_in_unit_order_with_local_callbacks(self):
+        unit = WorkUnit(unit_id=0, positions=(5, 6, 7), jobs=(3, 1, 2))
+        seen = []
+        outcomes = LocalExecutor().execute(
+            lambda job: job * 10,
+            unit,
+            on_result=lambda local, value: seen.append((local, value)),
+        )
+        assert outcomes == [30, 10, 20]
+        assert sorted(seen) == [(0, 30), (1, 10), (2, 20)]
+
+    def test_failures_captured_not_raised(self):
+        unit = WorkUnit(unit_id=0, positions=(0, 1), jobs=(1, 0))
+
+        def invert(job):
+            return 1 // job
+
+        outcomes = LocalExecutor().execute(invert, unit)
+        assert outcomes[0] == 1
+        assert isinstance(outcomes[1], JobFailure)
+
+    def test_describe_names_configuration(self):
+        text = LocalExecutor(workers=3, point_timeout=2.0).describe()
+        assert "workers=3" in text
+        assert "point_timeout=2" in text
+
+
+class TestCoordinator:
+    def test_bit_identical_to_engine_sweep(self):
+        reference = sweep_use_case(LEVELS, CONFIGS, scale=SCALE)
+        service = run_service_sweep(LEVELS, CONFIGS, scale=SCALE, shard_size=2)
+        assert len(service) == len(reference) == 3
+        for a, b in zip(reference, service):
+            assert (a.config, a.level) == (b.config, b.level)
+            assert _diff_exact(a.result, b.result) == []
+            assert a.power == b.power
+
+    def test_shard_size_one_many_inflight_same_answer(self):
+        reference = run_service_sweep(LEVELS, CONFIGS, scale=SCALE)
+        sharded = run_service_sweep(
+            LEVELS, CONFIGS, scale=SCALE, shard_size=1, max_inflight=3
+        )
+        assert [p.access_time_ms for p in sharded] == [
+            p.access_time_ms for p in reference
+        ]
+
+    def test_warm_cache_serves_grid(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_service_sweep(LEVELS, CONFIGS, scale=SCALE, cache=cache)
+        warm = run_service_sweep(LEVELS, CONFIGS, scale=SCALE, cache=cache)
+        assert cold.cached == 0
+        assert warm.cached == 3
+        assert [p.access_time_ms for p in warm] == [
+            p.access_time_ms for p in cold
+        ]
+
+    def test_cache_shared_with_engine_sweep(self, tmp_path):
+        """Points computed by sweep_use_case must be hits for the
+        service (same canonical keys), and vice versa."""
+        cache = ResultCache(tmp_path / "cache")
+        sweep_use_case(LEVELS, CONFIGS, scale=SCALE, cache=cache)
+        report = run_service_sweep(LEVELS, CONFIGS, scale=SCALE, cache=cache)
+        assert report.cached == 3
+
+    def test_checkpoint_resume(self, tmp_path):
+        checkpoint = tmp_path / "sweep.ckpt"
+        run_service_sweep(LEVELS, CONFIGS, scale=SCALE, checkpoint=checkpoint)
+        assert len(SweepCheckpoint(checkpoint)) == 3
+        resumed = run_service_sweep(
+            LEVELS, CONFIGS, scale=SCALE, checkpoint=checkpoint
+        )
+        assert resumed.resumed == 3
+
+    def test_strict_failure_raises_worker_error(self):
+        with faults.injected(faults.FaultPlan(site="sweep", index=1, once=False)):
+            with pytest.raises(WorkerError) as excinfo:
+                run_service_sweep(LEVELS, CONFIGS, scale=SCALE)
+        assert "channels" in str(excinfo.value)
+
+    def test_graceful_degradation_and_no_failure_caching(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with faults.injected(faults.FaultPlan(site="sweep", index=1, once=False)):
+            report = run_service_sweep(
+                LEVELS, CONFIGS, scale=SCALE, cache=cache, strict=False
+            )
+        assert len(report) == 2
+        assert len(report.failures) == 1
+        assert report.failures[0].coords["channels"] == CONFIGS[1].channels
+        assert len(cache) == 2  # the failed point must not be cached
+        healed = run_service_sweep(LEVELS, CONFIGS, scale=SCALE, cache=cache)
+        assert healed.ok
+        assert healed.cached == 2
+
+    def test_telemetry_counts_units_and_points(self):
+        telemetry = Telemetry.enabled()
+        run_service_sweep(
+            LEVELS, CONFIGS, scale=SCALE, shard_size=2, telemetry=telemetry
+        )
+        counters = telemetry.registry.as_dict()["counters"]
+        assert counters["sweep.points_total"] == 3
+        assert counters["sweep.points_completed"] == 3
+        assert counters["service.units_total"] == 2
+        assert counters["service.units_completed"] == 2
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            run_service_sweep([], CONFIGS)
+        with pytest.raises(ConfigurationError):
+            run_service_sweep(LEVELS, [])
+
+    def test_max_inflight_validated(self):
+        with pytest.raises(ConfigurationError):
+            SweepCoordinator(max_inflight=0)
+
+    def test_sync_wrapper_refuses_nested_loop(self):
+        async def nested():
+            return run_service_sweep(LEVELS, CONFIGS, scale=SCALE)
+
+        with pytest.raises(ConfigurationError):
+            asyncio.run(nested())
+
+    def test_coordinator_awaitable_from_async_code(self):
+        async def drive():
+            coordinator = SweepCoordinator(shard_size=2)
+            return await coordinator.run(LEVELS, CONFIGS, scale=SCALE)
+
+        report = asyncio.run(drive())
+        assert report.ok
+        assert len(report) == 3

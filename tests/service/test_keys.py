@@ -1,0 +1,158 @@
+"""Tests for the canonical job-key module (:mod:`repro.keys`)."""
+
+import enum
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.sweep import _job_description, job_keys
+from repro.core.config import SystemConfig
+from repro.keys import (
+    ENGINE_VERSION,
+    canonical_fragment,
+    canonical_key,
+    canonical_payload,
+)
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.usecase.levels import level_by_name
+
+
+@dataclass(frozen=True)
+class _Sample:
+    name: str
+    value: int
+
+
+class _Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+class TestCanonicalFragment:
+    def test_scalars_pass_through(self):
+        assert canonical_fragment(None) is None
+        assert canonical_fragment(True) is True
+        assert canonical_fragment(7) == 7
+        assert canonical_fragment("x") == "x"
+        assert canonical_fragment(2.5) == 2.5
+
+    def test_nonfinite_float_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                canonical_fragment(bad)
+
+    def test_enum_projects_to_qualified_name(self):
+        assert canonical_fragment(_Color.RED) == {
+            "__enum__": "_Color",
+            "name": "RED",
+        }
+
+    def test_dataclass_projects_fields_and_class(self):
+        fragment = canonical_fragment(_Sample(name="a", value=3))
+        assert fragment == {"name": "a", "value": 3, "__class__": "_Sample"}
+
+    def test_set_is_order_free(self):
+        assert canonical_fragment({3, 1, 2}) == [1, 2, 3]
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_fragment({1: "x"})
+
+    def test_fallback_is_tagged_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        fragment = canonical_fragment(Opaque())
+        assert fragment == {"__repr__": "<opaque>", "__class__": "Opaque"}
+
+
+class TestCanonicalKey:
+    def test_deterministic_within_process(self):
+        description = {"kind": "x", "config": SystemConfig(channels=2)}
+        assert canonical_key(description) == canonical_key(description)
+
+    def test_payload_is_sorted_json_with_engine_version(self):
+        payload = json.loads(canonical_payload({"a": 1}))
+        assert payload["engine"] == ENGINE_VERSION
+        assert payload["job"] == {"a": 1}
+
+    def test_engine_version_changes_key(self):
+        description = {"kind": "x"}
+        assert canonical_key(description) != canonical_key(
+            description, engine_version=ENGINE_VERSION + ".different"
+        )
+
+    def test_field_change_changes_key(self):
+        base = SystemConfig(channels=2, freq_mhz=400.0)
+        assert canonical_key(base) != canonical_key(base.with_frequency(200.0))
+        assert canonical_key(base) != canonical_key(base.with_channels(4))
+
+    def test_backend_change_changes_key(self):
+        base = SystemConfig(channels=2)
+        assert canonical_key(base) != canonical_key(base.with_backend("fast"))
+
+    def test_stable_across_processes(self):
+        """The key must be a pure content function -- no hash salting,
+        no repr drift -- so a second process computes the same digest."""
+        description = {
+            "kind": "sweep-point",
+            "config": SystemConfig(channels=4, freq_mhz=333.0),
+            "level": level_by_name("3.1"),
+        }
+        script = (
+            "from repro.keys import canonical_key\n"
+            "from repro.core.config import SystemConfig\n"
+            "from repro.usecase.levels import level_by_name\n"
+            "print(canonical_key({'kind': 'sweep-point',"
+            " 'config': SystemConfig(channels=4, freq_mhz=333.0),"
+            " 'level': level_by_name('3.1')}))\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert remote == canonical_key(description)
+
+
+class TestJobKeys:
+    def _job(self, index, config, scale=0.125):
+        return (index, level_by_name("3.1"), config, scale, 60_000, 64)
+
+    def test_grid_index_excluded(self):
+        """The same configuration must share stored work no matter
+        where it sits in which grid."""
+        config = SystemConfig(channels=2)
+        keys = job_keys([self._job(0, config), self._job(17, config)])
+        assert keys[0] == keys[1]
+
+    def test_distinct_configs_distinct_keys(self):
+        keys = job_keys(
+            [
+                self._job(0, SystemConfig(channels=2)),
+                self._job(1, SystemConfig(channels=4)),
+            ]
+        )
+        assert keys[0] != keys[1]
+
+    def test_scale_participates(self):
+        config = SystemConfig(channels=2)
+        a = job_keys([self._job(0, config, scale=0.125)])[0]
+        b = job_keys([self._job(0, config, scale=0.25)])[0]
+        assert a != b
+
+    def test_description_surfaces_backend(self):
+        description = _job_description(
+            self._job(0, SystemConfig(channels=2, backend="fast"))
+        )
+        assert description["backend"] == "fast"
+        assert "index" not in description
+
+    def test_checkpoint_key_is_canonical_key(self):
+        description = _job_description(self._job(0, SystemConfig(channels=2)))
+        assert SweepCheckpoint.key_for(description) == canonical_key(description)

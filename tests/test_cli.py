@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import main
@@ -392,3 +394,120 @@ class TestSupervisionFlags:
             + ["--checkpoint", str(ckpt), "--durable-checkpoint", "fig4"]
         ) == 0
         assert len(SweepCheckpoint(ckpt)) > 0
+
+class TestCacheFlags:
+    def test_fig3_cold_then_warm(self, tmp_path, capsys, fast_args):
+        cache = tmp_path / "cache"
+        assert main(fast_args + ["--cache-dir", str(cache), "fig3"]) == 0
+        cold = capsys.readouterr().out
+        assert "0 hit(s)" in cold
+        assert "miss(es)" in cold
+        assert main(fast_args + ["--cache-dir", str(cache), "fig3"]) == 0
+        warm = capsys.readouterr().out
+        assert "24 hit(s), 0 miss(es)" in warm
+        # Identical artifact whether computed or served from cache.
+        assert warm.split("cache")[0] == cold.split("cache")[0]
+
+    def test_cache_shared_between_figures(self, tmp_path, capsys, fast_args):
+        # Fig. 4 and Fig. 5 sweep identical points at 400 MHz, so a
+        # cache warmed by one must serve the other.
+        cache = tmp_path / "cache"
+        assert main(fast_args + ["--cache-dir", str(cache), "fig4"]) == 0
+        capsys.readouterr()
+        assert main(fast_args + ["--cache-dir", str(cache), "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "0 miss(es)" in out
+        hits = re.search(r": (\d+) hit\(s\)", out)
+        assert hits is not None and int(hits.group(1)) > 0
+
+    def test_explore_accepts_cache_dir(self, tmp_path, capsys, fast_args):
+        cache = tmp_path / "cache"
+        assert main(
+            fast_args
+            + ["--cache-dir", str(cache), "explore", "--level", "3.1"]
+        ) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_corrupt_entry_fails_strict_but_degrades(
+        self, tmp_path, capsys, fast_args
+    ):
+        cache = tmp_path / "cache"
+        assert main(fast_args + ["--cache-dir", str(cache), "fig3"]) == 0
+        capsys.readouterr()
+        victim = sorted(cache.glob("*.rc"))[0]
+        victim.write_text("garbage, not a cache entry\n")
+        # Strict (the default): results still correct, exit code 1
+        # flags the store.
+        assert main(fast_args + ["--cache-dir", str(cache), "fig3"]) == 1
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "CACHE CORRUPTION" in out
+        assert "--no-strict" in out
+        # --no-strict tolerates the self-healing recompute.
+        assert main(
+            fast_args + ["--cache-dir", str(cache), "--no-strict", "fig3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CACHE CORRUPTION" not in out
+
+
+class TestSweepCommand:
+    def test_sweep_reports_grid_and_cache(self, tmp_path, capsys, fast_args):
+        cache = tmp_path / "cache"
+        args = fast_args + [
+            "--cache-dir",
+            str(cache),
+            "sweep",
+            "--levels",
+            "3.1",
+            "--channels",
+            "1,2",
+            "--freqs",
+            "200,400",
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "Service sweep: 1 level(s) x 4 config(s)" in cold
+        assert "LocalExecutor" in cold
+        assert "4 write(s)" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "4 served from cache" in warm
+        assert "4 hit(s)" in warm
+
+    def test_sweep_defaults_run_paper_grid(self, capsys, fast_args):
+        assert main(fast_args + ["sweep", "--freqs", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "1 level(s) x 4 config(s)" in out
+        assert "Verdict" in out
+
+    def test_sweep_rejects_bad_channel_list(self, fast_args):
+        with pytest.raises(SystemExit, match="--channels"):
+            main(fast_args + ["sweep", "--channels", "1,two"])
+
+    def test_sweep_rejects_empty_freq_list(self, fast_args):
+        with pytest.raises(SystemExit, match="--freqs"):
+            main(fast_args + ["sweep", "--freqs", ","])
+
+    def test_sweep_rejects_unknown_level(self, fast_args):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="9.9"):
+            main(fast_args + ["sweep", "--levels", "9.9"])
+
+    def test_sweep_checkpoint_resume(self, tmp_path, capsys, fast_args):
+        ckpt = tmp_path / "svc.ckpt"
+        args = fast_args + [
+            "--checkpoint",
+            str(ckpt),
+            "sweep",
+            "--freqs",
+            "200",
+            "--channels",
+            "1,2",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        resumed_args = args[:2] + ["--resume"] + args[2:]
+        assert main(resumed_args) == 0
+        assert "2 resumed from checkpoint" in capsys.readouterr().out
