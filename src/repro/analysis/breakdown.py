@@ -24,6 +24,7 @@ from repro.load.model import VideoRecordingLoadModel
 from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
+from repro.workloads.registry import WorkloadLike, resolve_workload
 
 
 @dataclass(frozen=True)
@@ -101,9 +102,15 @@ def stage_breakdown(
     level: H264Level,
     config: SystemConfig,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    workload: WorkloadLike = None,
 ) -> StageBreakdown:
-    """Attribute access time and energy to each pipeline stage."""
-    use_case = VideoRecordingUseCase(level)
+    """Attribute access time and energy to each pipeline stage.
+
+    ``workload`` selects the declarative pipeline to break down
+    (``None`` = the paper's ``h264_camcorder``); any registered zoo
+    spec's stages are attributed the same way.
+    """
+    use_case = resolve_workload(workload).instantiate(level)
     load = VideoRecordingLoadModel(use_case)
     scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
     model = PowerModel(config.device, config.freq_mhz)

@@ -46,6 +46,7 @@ from repro.telemetry.progress import ProgressSink
 from repro.telemetry.session import Telemetry
 from repro.usecase.bandwidth import BandwidthTable, compute_table1
 from repro.usecase.levels import PAPER_LEVELS, H264Level, level_by_name
+from repro.workloads.registry import WorkloadLike
 
 #: Cell shown for a sweep point that failed under ``strict=False``.
 FAILED_CELL = "ERR"
@@ -187,6 +188,7 @@ def run_fig3(
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
     cache: Optional[Union[str, Path]] = None,
+    workload: WorkloadLike = None,
 ) -> Fig3Result:
     """Regenerate Fig. 3: sweep the interface clock for the least
     demanding HD level (3.1: 720p at 30 fps) over 1-8 channels.
@@ -226,6 +228,7 @@ def run_fig3(
         point_timeout=point_timeout,
         durable_checkpoint=durable_checkpoint,
         cache=cache,
+        workload=workload,
         **kwargs,
     )
     access: Dict[float, Dict[int, float]] = {}
@@ -337,6 +340,7 @@ def run_fig4(
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
     cache: Optional[Union[str, Path]] = None,
+    workload: WorkloadLike = None,
 ) -> Fig4Result:
     """Regenerate Fig. 4: frame-format sweep at a 400 MHz clock.
 
@@ -369,6 +373,7 @@ def run_fig4(
         point_timeout=point_timeout,
         durable_checkpoint=durable_checkpoint,
         cache=cache,
+        workload=workload,
         **kwargs,
     )
     points: Dict[str, Dict[int, SweepPoint]] = {}
@@ -493,6 +498,7 @@ def run_fig5(
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
     cache: Optional[Union[str, Path]] = None,
+    workload: WorkloadLike = None,
 ) -> Fig5Result:
     """Regenerate Fig. 5.  Shares Fig. 4's sweep (the paper derives
     both from the same simulations) -- including its checkpoint file,
@@ -515,6 +521,7 @@ def run_fig5(
             point_timeout=point_timeout,
             durable_checkpoint=durable_checkpoint,
             cache=cache,
+            workload=workload,
         )
     )
 
@@ -578,6 +585,7 @@ def run_xdr_comparison(
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
     cache: Optional[Union[str, Path]] = None,
+    workload: WorkloadLike = None,
 ) -> XdrComparisonResult:
     """Compare the 8-channel configuration's power against the XDR
     reference across the encoding formats (Section IV).
@@ -601,6 +609,7 @@ def run_xdr_comparison(
             point_timeout=point_timeout,
             durable_checkpoint=durable_checkpoint,
             cache=cache,
+            workload=workload,
         )
     config = SystemConfig(channels=channels, freq_mhz=freq_mhz)
     per_level: Dict[str, Tuple[float, float]] = {}

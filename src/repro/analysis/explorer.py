@@ -38,6 +38,7 @@ from repro.parallel import resolve_workers
 from repro.power.report import compute_frame_power
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
+from repro.workloads.registry import WorkloadLike, resolve_workload
 
 
 def minimum_channels(
@@ -51,6 +52,7 @@ def minimum_channels(
     backend: Optional[str] = None,
     point_timeout: Optional[float] = None,
     cache: Optional[object] = None,
+    workload: WorkloadLike = None,
 ) -> Optional[int]:
     """Smallest channel count meeting the level's real-time target.
 
@@ -95,6 +97,7 @@ def minimum_channels(
             strict=strict,
             point_timeout=point_timeout,
             cache=cache,
+            workload=workload,
         )
     else:
         points = (
@@ -102,6 +105,7 @@ def minimum_channels(
                 level,
                 config_for(m),
                 chunk_budget=chunk_budget,
+                workload=workload,
             )
             for m in counts
         )
@@ -126,6 +130,7 @@ def find_minimum_power_configuration(
     prescreen_slack: float = 0.25,
     point_timeout: Optional[float] = None,
     cache: Optional[object] = None,
+    workload: WorkloadLike = None,
 ) -> Optional[SweepPoint]:
     """Cheapest (by average power) PASS configuration for ``level``.
 
@@ -170,6 +175,7 @@ def find_minimum_power_configuration(
             backend=prescreen_backend,
             point_timeout=point_timeout,
             cache=cache,
+            workload=workload,
         )
         limit_ms = level.frame_period_ms * (1.0 + prescreen_slack)
         survivors = [
@@ -184,6 +190,7 @@ def find_minimum_power_configuration(
     points = sweep_use_case(
         [level], configs, chunk_budget=chunk_budget, workers=workers,
         strict=strict, point_timeout=point_timeout, cache=cache,
+        workload=workload,
     )
     best: Optional[SweepPoint] = None
     for point in points:
@@ -228,6 +235,7 @@ def compare_energy_strategies(
     config: SystemConfig,
     duty: float = 1.0 - PAPER_MARGIN,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    workload: WorkloadLike = None,
 ) -> EnergyStrategyComparison:
     """Compare race-to-idle and just-in-time scheduling energies.
 
@@ -238,7 +246,7 @@ def compare_energy_strategies(
     aggressive power-down assumption already captures most of what a
     DVFS-style pacing policy could save at fixed voltage/frequency.
     """
-    use_case = VideoRecordingUseCase(level)
+    use_case = resolve_workload(workload).instantiate(level)
     load = VideoRecordingLoadModel(use_case)
     scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
     txns = load.generate_frame(scale=scale)
@@ -273,6 +281,7 @@ def conclusions_summary(
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    workload: WorkloadLike = None,
 ) -> Dict[str, Optional[int]]:
     """The paper's Section V summary as data: minimum channels per
     level at 400 MHz."""
@@ -285,6 +294,7 @@ def conclusions_summary(
             chunk_budget=chunk_budget,
             workers=workers,
             backend=backend,
+            workload=workload,
         )
         for level in PAPER_LEVELS
     }

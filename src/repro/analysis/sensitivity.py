@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.realtime import RealTimeVerdict
 from repro.analysis.sweep import simulate_use_case
@@ -55,9 +55,9 @@ BOUNDARY_CLAIMS: Tuple[Tuple[str, str, int, bool, bool], ...] = (
 
 
 def check_boundary_pattern(
-    base_config: SystemConfig = None,
+    base_config: Optional[SystemConfig] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
-    reference_frames: int = None,
+    reference_frames: Optional[int] = None,
     chunk_budget: int = 60_000,
 ) -> Dict[str, bool]:
     """Evaluate every boundary claim; returns claim -> holds."""

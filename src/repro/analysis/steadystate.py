@@ -18,7 +18,7 @@ profile:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.realtime import RealTimeVerdict, realtime_verdict
 from repro.core.config import SystemConfig
@@ -29,6 +29,7 @@ from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
 from repro.power.report import compute_frame_power
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
+from repro.workloads.registry import WorkloadLike, resolve_workload
 
 
 @dataclass(frozen=True)
@@ -88,17 +89,30 @@ class GopAnalysis:
 def analyze_gop(
     level: H264Level,
     config: SystemConfig,
-    gop_length: int = 15,
+    gop_length: Optional[int] = None,
     chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    workload: WorkloadLike = None,
 ) -> GopAnalysis:
-    """Simulate one I frame and one P frame of ``level`` on ``config``
-    and assemble the GOP profile."""
+    """Simulate one I frame and one P frame of ``workload`` at
+    ``level`` on ``config`` and assemble the GOP profile.
+
+    ``workload`` selects the declarative pipeline (``None`` = the
+    paper's ``h264_camcorder``).  The spec's
+    :class:`~repro.workloads.spec.GopSpec` supplies the default GOP
+    length and names the parameter that flips the intra-coded variant;
+    a workload with no ``intra_param`` (e.g. ``vdcm_display``) has no
+    I/P distinction, so both frame kinds simulate identically and the
+    profile is flat.
+    """
+    bound = resolve_workload(workload)
+    if gop_length is None:
+        gop_length = max(2, bound.spec.gop.length)
     if gop_length < 2:
         raise ConfigurationError(f"gop_length must be >= 2, got {gop_length}")
 
     results = {}
     for kind, intra in (("I", True), ("P", False)):
-        use_case = VideoRecordingUseCase(level, intra_only=intra)
+        use_case = bound.intra_variant(intra).instantiate(level)
         load = VideoRecordingLoadModel(use_case)
         scale = choose_scale(use_case.total_bytes_per_frame(), chunk_budget)
         result = MultiChannelMemorySystem(config).run(

@@ -54,6 +54,8 @@ from repro.telemetry.progress import ProgressSink, SweepProgress
 from repro.telemetry.session import Telemetry
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
+from repro.workloads.registry import WorkloadLike, resolve_workload
+from repro.workloads.spec import BoundWorkload
 
 
 @dataclass(frozen=True)
@@ -90,11 +92,20 @@ def simulate_use_case(
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     use_case: Optional[VideoRecordingUseCase] = None,
     telemetry: Optional[Telemetry] = None,
+    workload: WorkloadLike = None,
 ) -> SweepPoint:
-    """Simulate one frame of ``level``'s recording on ``config``.
+    """Simulate one frame of ``workload`` at ``level`` on ``config``.
 
     ``scale`` overrides the automatic fraction selection (pass 1.0 for
     an exact full-frame run).
+
+    ``workload`` selects the declarative traffic model (a registered
+    name, a :class:`~repro.workloads.spec.WorkloadSpec` or a
+    :class:`~repro.workloads.spec.BoundWorkload`); ``None`` resolves to
+    the default ``h264_camcorder`` spec, which is bit-identical to the
+    legacy :class:`~repro.usecase.pipeline.VideoRecordingUseCase`.  An
+    explicit ``use_case`` instance (the legacy hook) wins over
+    ``workload``.
 
     A live ``telemetry`` session attributes wall-clock to the pipeline
     phases (``load.build``, ``load.scale``, ``load.generate``, the
@@ -106,7 +117,7 @@ def simulate_use_case(
     profiler = telemetry.profiler if telemetry is not None else NULL_PROFILER
     with profiler.phase("load.build"):
         if use_case is None:
-            use_case = VideoRecordingUseCase(level)
+            use_case = resolve_workload(workload).instantiate(level)
         load = VideoRecordingLoadModel(use_case, block_bytes=block_bytes)
     with profiler.phase("load.scale"):
         if scale is None:
@@ -125,8 +136,11 @@ def simulate_use_case(
     )
 
 
-#: One sweep job: (index, level, config, scale, chunk_budget, block_bytes).
-SweepJob = Tuple[int, H264Level, SystemConfig, Optional[float], int, int]
+#: One sweep job:
+#: (index, level, config, scale, chunk_budget, block_bytes, workload).
+SweepJob = Tuple[
+    int, H264Level, SystemConfig, Optional[float], int, int, BoundWorkload
+]
 
 
 def _sweep_point_job(
@@ -144,7 +158,7 @@ def _sweep_point_job(
     worker's registry/profiler mutations would die with the worker, so
     pooled sweeps collect sweep-level metrics in the parent instead.
     """
-    index, level, config, scale, chunk_budget, block_bytes = job
+    index, level, config, scale, chunk_budget, block_bytes, workload = job
     maybe_inject("sweep", index)
     return simulate_use_case(
         level,
@@ -153,19 +167,21 @@ def _sweep_point_job(
         chunk_budget=chunk_budget,
         block_bytes=block_bytes,
         telemetry=telemetry,
+        workload=workload,
     )
 
 
 def _job_coords(job: SweepJob) -> Dict[str, object]:
     """Human-readable sweep coordinates of one job (for failure
     records and checkpoint lines)."""
-    index, level, config, scale, chunk_budget, block_bytes = job
+    index, level, config, scale, chunk_budget, block_bytes, workload = job
     return {
         "index": index,
         "level": level.name,
         "channels": config.channels,
         "freq_mhz": config.freq_mhz,
         "backend": config.backend,
+        "workload": workload.name,
     }
 
 
@@ -182,8 +198,15 @@ def _job_description(job: SweepJob) -> Dict[str, object]:
     (which also carries it) so the key contract -- "changing the
     backend misses" -- is visible in the payload, and the engine
     version rides in via :func:`repro.keys.canonical_key`.
+
+    The ``workload`` identity -- registry name, fully resolved
+    parameters and a digest of the spec's semantic structure
+    (:meth:`~repro.workloads.spec.BoundWorkload.identity`) -- is part
+    of the key, so the result cache and checkpoints can never alias
+    points generated by different workloads (or by two registrations
+    of the same name with different structure).
     """
-    index, level, config, scale, chunk_budget, block_bytes = job
+    index, level, config, scale, chunk_budget, block_bytes, workload = job
     return {
         "kind": "sweep-point",
         "level": level,
@@ -192,6 +215,7 @@ def _job_description(job: SweepJob) -> Dict[str, object]:
         "scale": scale,
         "chunk_budget": chunk_budget,
         "block_bytes": block_bytes,
+        "workload": workload.identity(),
     }
 
 
@@ -309,8 +333,15 @@ def sweep_use_case(
     point_timeout: Optional[float] = None,
     durable_checkpoint: bool = False,
     cache: Optional[Union[str, Path, ResultCache]] = None,
+    workload: WorkloadLike = None,
 ) -> SweepReport:
     """Cartesian sweep of levels x configurations.
+
+    ``workload`` selects the declarative traffic model every point
+    simulates (registered name, spec or bound workload; ``None`` = the
+    default ``h264_camcorder``).  The workload identity is part of
+    every point's canonical key, so checkpoints and the result cache
+    never mix points across workloads.
 
     ``workers`` fans the (level, config) points out across worker
     processes (``None``/1 = in-process, 0 = one per CPU); the returned
@@ -382,8 +413,9 @@ def sweep_use_case(
         raise ConfigurationError("sweep needs at least one level and one config")
     if backend is not None:
         configs = [config.with_backend(backend) for config in configs]
+    bound = resolve_workload(workload)
     jobs: List[SweepJob] = [
-        (index, level, config, scale, chunk_budget, block_bytes)
+        (index, level, config, scale, chunk_budget, block_bytes, bound)
         for index, (level, config) in enumerate(
             (level, config) for level in levels for config in configs
         )

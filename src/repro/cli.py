@@ -15,6 +15,7 @@ Usage::
     repro-sim fuzz [--cases 100 --seed 0]
     repro-sim chaos [--seeds 1,5,17]
     repro-sim sweep [--levels 3.1,4 --channels 1,2,4,8 --freqs 200,400]
+    repro-sim workloads
     repro-sim all
 
 Every subcommand prints the regenerated table/figure as ASCII; pass
@@ -33,6 +34,15 @@ decode + cross-point caching, an order of magnitude faster; needs the
 numpy extra) or ``analytic`` (closed-form screening).  ``explore
 --prescreen analytic`` screens the design grid closed-form and refines
 only plausible points under ``--backend``.
+
+``--workload NAME`` selects the workload spec every simulated point
+models (see :mod:`repro.workloads` and docs/architecture.md,
+Workloads): ``h264_camcorder`` (default, the paper's Fig. 1 pipeline),
+``vvc_encoder``, ``h264_lossy_ec`` or ``vdcm_display``.  Repeatable
+``--workload-param NAME=VALUE`` overrides spec parameters (validated
+against the spec's schema).  ``workloads`` lists every registered spec
+with its parameters and stages.  Table I/II and ``verify-paper`` are
+paper artifacts and always use the camcorder.
 
 Fault tolerance (see :mod:`repro.resilience`):
 
@@ -172,6 +182,30 @@ def _build_parser() -> argparse.ArgumentParser:
             "'batch' (bit-identical vectorized decode, ~10x+; needs the "
             "numpy extra) or 'analytic' (closed-form screening); see "
             "docs/architecture.md, Backends"
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "workload spec for every simulated point: 'h264_camcorder' "
+            "(the paper's Fig. 1 pipeline, the default), 'vvc_encoder', "
+            "'h264_lossy_ec' or 'vdcm_display'; run 'repro-sim "
+            "workloads' for details (docs/architecture.md, Workloads)"
+        ),
+    )
+    parser.add_argument(
+        "--workload-param",
+        dest="workload_params",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help=(
+            "override one workload parameter (repeatable), e.g. "
+            "--workload-param intra_only=true --workload-param "
+            "encoder_factor=8; validated against the spec's schema"
         ),
     )
     parser.add_argument(
@@ -463,6 +497,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="work units in flight concurrently (default: 4)",
     )
 
+    sub.add_parser(
+        "workloads",
+        help="list every registered workload spec (parameters, stages)",
+    )
+
     sub.add_parser("all", help="run every artifact in paper order")
     return parser
 
@@ -476,6 +515,39 @@ def _split_csv(text: str, cast, flag: str) -> List:
     if not values:
         raise SystemExit(f"{flag} needs at least one value")
     return values
+
+
+def _parse_workload_params(items: Optional[List[str]]) -> dict:
+    """Parse repeated ``--workload-param NAME=VALUE`` flags.
+
+    Values are coerced the way JSON would read them -- ``true``/
+    ``false`` to bool, numerals to int/float -- so ``intra_only=true``
+    and ``encoder_factor=8`` mean what they look like; anything else
+    stays a string (the spec's schema rejects it loudly if wrong).
+    """
+    params: dict = {}
+    for item in items or []:
+        name, sep, raw = item.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise SystemExit(
+                f"--workload-param must look like NAME=VALUE, got {item!r}"
+            )
+        text = raw.strip()
+        value: object
+        lowered = text.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            try:
+                value = int(text)
+            except ValueError:
+                try:
+                    value = float(text)
+                except ValueError:
+                    value = text
+        params[name] = value
+    return params
 
 
 def _csv_dir(args: argparse.Namespace) -> Optional[Path]:
@@ -517,6 +589,15 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
     backend_kw = {} if args.backend is None else {"backend": args.backend}
     if args.backend is not None:
         kwargs["backend"] = args.backend
+    bound_workload = None
+    if args.workload is not None or args.workload_params:
+        from repro.workloads.registry import resolve_workload
+
+        bound_workload = resolve_workload(
+            args.workload, _parse_workload_params(args.workload_params)
+        )
+        kwargs["workload"] = bound_workload
+    workload_kw = {} if bound_workload is None else {"workload": bound_workload}
     if args.checkpoint is not None:
         if not args.resume:
             SweepCheckpoint(args.checkpoint).clear()
@@ -544,7 +625,15 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         k: v
         for k, v in kwargs.items()
         if k
-        in ("chunk_budget", "workers", "strict", "backend", "point_timeout", "cache")
+        in (
+            "chunk_budget",
+            "workers",
+            "strict",
+            "backend",
+            "point_timeout",
+            "cache",
+            "workload",
+        )
     }
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
@@ -608,7 +697,7 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         config = SystemConfig(
             channels=args.channels, freq_mhz=args.freq, **backend_kw
         )
-        result = stage_breakdown(level, config, **budget_only)
+        result = stage_breakdown(level, config, **budget_only, **workload_kw)
         sections.append(
             f"== Per-stage breakdown: {level.column_title} on "
             f"{config.describe()} =="
@@ -790,10 +879,15 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
             checkpoint_force=args.force,
             durable_checkpoint=args.durable_checkpoint,
             **service_kwargs,
+            **workload_kw,
+        )
+        workload_note = (
+            "" if bound_workload is None else f" [{bound_workload.name}]"
         )
         sections.append(
             f"== Service sweep: {len(levels)} level(s) x "
-            f"{len(configs)} config(s) via {executor.describe()} =="
+            f"{len(configs)} config(s) via {executor.describe()}"
+            f"{workload_note} =="
         )
         rows = [["Level", "Channels", "Clock [MHz]", "Access [ms]", "Verdict"]]
         for point in report:
@@ -810,6 +904,19 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         sections.append(report.summary())
         if report.failures:
             sections.append(report.format_failures())
+    if command == "workloads":
+        from repro.workloads.registry import (
+            available_workloads,
+            default_workload_name,
+            get_workload,
+        )
+
+        sections.append("== Registered workloads ==")
+        for name in available_workloads():
+            spec = get_workload(name)
+            marker = " (default)" if name == default_workload_name() else ""
+            sections.append(f"-- {name}{marker} --")
+            sections.append(spec.describe())
     if command == "profile":
         figure = args.figure
         if figure == "fig3":
@@ -866,6 +973,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.backends.registry import validate_backend_name
 
         validate_backend_name(args.prescreen)
+    if args.workload is not None:
+        # Same eager validation as --backend: a typo'd workload name
+        # fails before any sweep starts.
+        from repro.workloads.registry import validate_workload_name
+
+        validate_workload_name(args.workload)
     sections, exit_code = _run_command(args)
     for section in sections:
         print(section)

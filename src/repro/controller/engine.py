@@ -197,9 +197,9 @@ class ChannelEngine:
         freq_mhz: float,
         multiplexing: AddressMultiplexing = AddressMultiplexing.RBC,
         page_policy: PagePolicy = PagePolicy.OPEN,
-        power_down: PowerDownPolicy = None,
-        interconnect: InterconnectModel = None,
-        queue: CommandQueueModel = None,
+        power_down: Optional[PowerDownPolicy] = None,
+        interconnect: Optional[InterconnectModel] = None,
+        queue: Optional[CommandQueueModel] = None,
         check_invariants: bool = False,
     ) -> None:
         device.timing.validate_frequency(freq_mhz)

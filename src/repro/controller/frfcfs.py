@@ -63,8 +63,8 @@ class ReorderingChannelEngine:
         device: DeviceDescriptor,
         freq_mhz: float,
         multiplexing: AddressMultiplexing = AddressMultiplexing.RBC,
-        power_down: PowerDownPolicy = None,
-        interconnect: InterconnectModel = None,
+        power_down: Optional[PowerDownPolicy] = None,
+        interconnect: Optional[InterconnectModel] = None,
         window: int = 16,
         max_skips: int = 64,
     ) -> None:

@@ -21,6 +21,7 @@ asserted to within a tolerance by ``tests/core/test_analytic.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.controller.request import CHUNK_BYTES
 from repro.core.config import SystemConfig
@@ -89,7 +90,7 @@ class AnalyticModel:
         self,
         total_bytes: float,
         rw_switches: int = 0,
-        row_misses_per_channel: float = None,
+        row_misses_per_channel: Optional[float] = None,
         read_fraction: float = 0.5,
     ) -> AnalyticEstimate:
         """Predict access time and power for a sequential workload.

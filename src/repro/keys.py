@@ -38,7 +38,7 @@ import enum
 import hashlib
 import json
 import math
-from typing import Any
+from typing import Any, Optional
 
 #: Version of the simulation engine's observable semantics.  Bump this
 #: whenever a change alters any simulated result (timing algebra,
@@ -102,7 +102,7 @@ def canonical_fragment(obj: Any) -> Any:
     return {"__repr__": repr(obj), "__class__": type(obj).__name__}
 
 
-def canonical_payload(description: Any, engine_version: str = None) -> str:
+def canonical_payload(description: Any, engine_version: Optional[str] = None) -> str:
     """The exact JSON document that gets hashed (useful for debugging
     why two keys differ: diff the payloads).
 
@@ -124,7 +124,7 @@ def canonical_payload(description: Any, engine_version: str = None) -> str:
     )
 
 
-def canonical_key(description: Any, engine_version: str = None) -> str:
+def canonical_key(description: Any, engine_version: Optional[str] = None) -> str:
     """SHA-256 content key of one job description.
 
     Deterministic across processes, Python versions and dataclass

@@ -10,7 +10,7 @@ the turnaround cost).  Used by unit tests and the ablation benchmarks.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 from repro.controller.request import MasterTransaction, Op
 from repro.errors import ConfigurationError
@@ -93,7 +93,7 @@ def alternating_rw_stream(
     pairs: int,
     block_bytes: int = 4096,
     read_base: int = 0,
-    write_base: int = None,
+    write_base: Optional[int] = None,
 ) -> List[MasterTransaction]:
     """Strictly alternating read/write blocks from two regions.
 

@@ -7,8 +7,13 @@ regular and foreseeable memory access behaviour, i.e., it needs
 relatively large data amounts resulting in several memory accesses to
 sequential memory locations."*
 
-This class walks the :class:`~repro.usecase.pipeline.VideoRecordingUseCase`
-stages in order and emits master transactions:
+This class walks a use case's stages in order and emits master
+transactions.  The use case is duck-typed: anything exposing
+``buffers()`` / ``stages()`` / ``total_bytes_per_frame()`` works --
+historically the :class:`~repro.usecase.pipeline.VideoRecordingUseCase`
+facade, and since ROADMAP item 3 any instantiated
+:class:`~repro.workloads.spec.WorkloadInstance` from the workload
+zoo.  Traffic shape:
 
 - each stage streams **sequentially** through its source and
   destination buffers,
@@ -35,7 +40,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 from repro.controller.request import MasterTransaction, Op
 from repro.errors import ConfigurationError
 from repro.load.addressmap import AddressMap, Region
-from repro.usecase.pipeline import StageTraffic, VideoRecordingUseCase
+from repro.usecase.pipeline import StageTraffic, VideoRecordingUseCase  # noqa: F401 - public API
 
 #: Default read/write interleave block: 4 KB, i.e. a handful of video
 #: lines -- the calibrated stage-processing granularity (EXPERIMENTS.md).

@@ -5,8 +5,11 @@ configuration space the paper sweeps -- channel counts, interface
 clocks, page policies, address multiplexings, power-down policies --
 crossed with synthetic traffic shapes (sequential streams, strided
 walks, uniform random access, alternating read/write pairs, paced
-arrivals) drawn from :mod:`repro.load.generators`.  Every case runs
-under the ``reference`` engine and each backend under test:
+arrivals) drawn from :mod:`repro.load.generators`, plus scaled-down
+frames of the registered workload zoo (:mod:`repro.workloads`) so the
+campaign also exercises the exact multi-buffer block-interleaved shape
+the sweeps run.  Every case runs under the ``reference`` engine and
+each backend under test:
 
 - a backend declaring
   :attr:`~repro.backends.base.ChannelBackend.reference_tolerance` of
@@ -72,6 +75,25 @@ TRAFFIC_KINDS: Tuple[Tuple[str, bool], ...] = (
     ("alternating", False),
     ("random", False),
     ("paced", True),
+    # A scaled-down frame of a registered zoo workload (see
+    # :mod:`repro.workloads`): block-interleaved multi-buffer streams
+    # with per-stage direction switches, the shape the paper's sweeps
+    # actually run.  At fuzzing scale the per-stage streams are short
+    # enough that startup/turnaround costs dominate, outside the
+    # analytic model's documented streaming regime, so these cases are
+    # differential-checked against the bit-identical backends only.
+    ("workload", False),
+)
+
+#: Zoo specs the ``workload`` traffic kind samples.  Deliberately a
+#: frozen list of built-ins rather than ``available_workloads()``:
+#: case generation must not depend on what a host process registered
+#: at runtime (same seed, same cases, any machine).
+FUZZ_WORKLOADS = (
+    "h264_camcorder",
+    "vvc_encoder",
+    "h264_lossy_ec",
+    "vdcm_display",
 )
 
 #: Minimum *per-channel* traffic (16-byte chunks) for the analytic
@@ -234,6 +256,8 @@ def _generate_traffic(
             read_fraction=rng.choice((0.25, 0.5, 0.75)),
             seed=rng.randrange(1 << 30),
         )
+    if kind == "workload":
+        return _workload_traffic(rng, span_limit)
     if kind == "paced":
         # Sequential stream with monotonically increasing arrival
         # stamps: opens idle gaps, exercising power-down entry/exit.
@@ -254,6 +278,50 @@ def _generate_traffic(
             arrival += gap_ns * (1 + rng.random())
         return out
     raise RegressionError(f"unknown traffic kind {kind!r}")
+
+
+def _workload_traffic(
+    rng: random.Random, span_limit: int
+) -> List[MasterTransaction]:
+    """One scaled-down frame of a deterministically drawn zoo workload.
+
+    The spec, level and intra/inter variant come from ``rng``; the
+    frame is scaled so the traffic stays within
+    :data:`MAX_CASE_CHUNKS` and the buffer layout fits a single
+    channel's capacity (the smallest configuration a repro may be
+    replayed on).
+    """
+    from repro.load.model import VideoRecordingLoadModel
+    from repro.usecase.levels import PAPER_LEVELS
+    from repro.workloads.registry import get_workload
+
+    spec = get_workload(rng.choice(FUZZ_WORKLOADS))
+    params = {}
+    if "intra_only" in spec.param_defaults():
+        params["intra_only"] = rng.random() < 0.25
+    block_bytes = rng.choice((256, 1024, 4096))
+    # Try levels smallest-first from a random start: the drawn level
+    # usually fits one channel, and when a big format's buffers do
+    # not, the fallback is still deterministic in (seed, index).
+    start = rng.randrange(len(PAPER_LEVELS))
+    ordering = PAPER_LEVELS[start:] + PAPER_LEVELS[:start]
+    for level in ordering:
+        use_case = spec.instantiate(level, **params)
+        model = VideoRecordingLoadModel(use_case, block_bytes=block_bytes)
+        if not model.address_map.fits_in(span_limit):
+            continue
+        frame_bytes = use_case.total_bytes_per_frame()
+        scale = min(1.0, (MAX_CASE_CHUNKS * 16) / frame_bytes)
+        # A too-small scale can round every stage below one 16-byte
+        # granule; grow it (deterministically) until traffic appears.
+        for _ in range(8):
+            transactions = model.generate_frame(scale=scale)
+            if transactions:
+                return transactions
+            scale = min(1.0, scale * 4)
+    raise RegressionError(
+        f"workload {spec.name!r} fits no paper level in {span_limit} bytes"
+    )
 
 
 def generate_case(seed: int, index: int) -> FuzzCase:

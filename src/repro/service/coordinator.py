@@ -65,6 +65,7 @@ from repro.service.executor import (
 from repro.telemetry.progress import ProgressSink, SweepProgress
 from repro.telemetry.session import Telemetry
 from repro.usecase.levels import H264Level
+from repro.workloads.registry import WorkloadLike, resolve_workload
 
 #: Default bound on units dispatched concurrently.  Units already fan
 #: out internally (the local executor runs one pool per unit), so a
@@ -110,8 +111,13 @@ class SweepCoordinator:
         backend: Optional[str] = None,
         checkpoint_force: bool = False,
         durable_checkpoint: bool = False,
+        workload: WorkloadLike = None,
     ) -> SweepReport:
         """Run the levels x configs grid through the executor.
+
+        ``workload`` selects the declarative traffic model every point
+        simulates (``None`` = the default ``h264_camcorder``); the
+        workload identity is part of every point's canonical key.
 
         Accepts the same stores and semantics as
         :func:`repro.analysis.sweep.sweep_use_case` (checkpoint
@@ -127,8 +133,9 @@ class SweepCoordinator:
             )
         if backend is not None:
             configs = [config.with_backend(backend) for config in configs]
+        bound = resolve_workload(workload)
         jobs: List[SweepJob] = [
-            (index, level, config, scale, chunk_budget, block_bytes)
+            (index, level, config, scale, chunk_budget, block_bytes, bound)
             for index, (level, config) in enumerate(
                 (level, config) for level in levels for config in configs
             )
@@ -316,6 +323,7 @@ def run_service_sweep(
     backend: Optional[str] = None,
     checkpoint_force: bool = False,
     durable_checkpoint: bool = False,
+    workload: WorkloadLike = None,
 ) -> SweepReport:
     """Synchronous front door of the sweep service.
 
@@ -352,5 +360,6 @@ def run_service_sweep(
             backend=backend,
             checkpoint_force=checkpoint_force,
             durable_checkpoint=durable_checkpoint,
+            workload=workload,
         )
     )

@@ -17,7 +17,7 @@ CLI) accepts ``telemetry: Optional[Telemetry] = None``:
 
 from __future__ import annotations
 
-from typing import ContextManager
+from typing import ContextManager, Optional
 
 from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler, ProfileReport
 from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
@@ -28,8 +28,8 @@ class Telemetry:
 
     def __init__(
         self,
-        registry: MetricsRegistry = None,
-        profiler: PhaseProfiler = None,
+        registry: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.profiler = profiler if profiler is not None else PhaseProfiler()

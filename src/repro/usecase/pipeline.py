@@ -27,78 +27,37 @@ Modelling assumptions, all from the paper:
 The reconstructed per-stage constants reproduce every numeric anchor
 the paper's prose preserves (1.9 / 4.3 / 8.6 GB/s and the 2.2x
 720p-to-1080p ratio); see DESIGN.md section 4.
+
+Since ROADMAP item 3 landed, this class is a thin facade: the actual
+buffer/stage model lives in the declarative ``h264_camcorder``
+:class:`~repro.workloads.spec.WorkloadSpec`
+(:mod:`repro.workloads.zoo`), whose expressions mirror the historical
+formulas in the same operation order -- the instantiated traffic is
+bit-identical to what this class always produced (``verify-paper``
+stays exact at 186/186).  :class:`BufferSpec` and
+:class:`StageTraffic` now live in :mod:`repro.workloads.spec` and are
+re-exported here unchanged for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.usecase.audio import AudioStream
-from repro.usecase.formats import FORMAT_WVGA, FrameFormat, PixelFormat
+from repro.usecase.formats import FORMAT_WVGA, FrameFormat
 from repro.usecase.levels import H264Level
+from repro.workloads.spec import BufferSpec, StageTraffic, WorkloadInstance
 
-
-@dataclass(frozen=True)
-class BufferSpec:
-    """One execution-memory frame/stream buffer."""
-
-    name: str
-    size_bytes: int
-
-    def __post_init__(self) -> None:
-        if not self.name:
-            raise ConfigurationError("buffer name must be non-empty")
-        if self.size_bytes <= 0:
-            raise ConfigurationError(
-                f"buffer {self.name!r} must have positive size, got {self.size_bytes}"
-            )
-
-
-@dataclass(frozen=True)
-class StageTraffic:
-    """Per-frame execution-memory traffic of one pipeline stage.
-
-    ``reads``/``writes`` list ``(buffer_name, bits)`` pairs; Table I's
-    cell for the stage is their combined total.
-    """
-
-    name: str
-    #: ``"image"`` (image processing) or ``"coding"`` (video coding).
-    category: str
-    reads: Tuple[Tuple[str, float], ...] = ()
-    writes: Tuple[Tuple[str, float], ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.category not in ("image", "coding"):
-            raise ConfigurationError(
-                f"category must be 'image' or 'coding', got {self.category!r}"
-            )
-        for buf, bits in self.reads + self.writes:
-            if bits < 0:
-                raise ConfigurationError(
-                    f"stage {self.name!r}: negative traffic on {buf!r}"
-                )
-
-    @property
-    def read_bits(self) -> float:
-        """Bits read from execution memory per frame."""
-        return sum(bits for _, bits in self.reads)
-
-    @property
-    def write_bits(self) -> float:
-        """Bits written to execution memory per frame."""
-        return sum(bits for _, bits in self.writes)
-
-    @property
-    def total_bits(self) -> float:
-        """Combined consumption + production (the Table I cell)."""
-        return self.read_bits + self.write_bits
+__all__ = ["BufferSpec", "StageTraffic", "VideoRecordingUseCase"]
 
 
 class VideoRecordingUseCase:
     """The complete Fig. 1 use case for one H.264/AVC level.
+
+    A facade over the registered ``h264_camcorder``
+    :class:`~repro.workloads.spec.WorkloadSpec`; the instantiated
+    workload is exposed as :attr:`workload`.
 
     Parameters
     ----------
@@ -130,7 +89,7 @@ class VideoRecordingUseCase:
     def __init__(
         self,
         level: H264Level,
-        audio: AudioStream = None,
+        audio: Optional[AudioStream] = None,
         digizoom: float = 1.0,
         display: FrameFormat = FORMAT_WVGA,
         display_refresh_hz: float = 60.0,
@@ -165,6 +124,20 @@ class VideoRecordingUseCase:
         #: Pixels after digizoom cropping (``~N/(z*z)``).
         self.zoomed_pixels = max(1, round(level.frame.pixels / (digizoom * digizoom)))
 
+        from repro.workloads.registry import get_workload
+
+        #: The instantiated declarative workload this facade fronts.
+        self.workload: WorkloadInstance = get_workload("h264_camcorder").instantiate(
+            level,
+            digizoom=digizoom,
+            display_pixels=display.pixels,
+            display_refresh_hz=display_refresh_hz,
+            stabilization_border=stabilization_border,
+            encoder_factor=encoder_factor,
+            audio_bitrate_mbps=self.audio.bitrate_mbps,
+            intra_only=intra_only,
+        )
+
     # -- derived stream rates ------------------------------------------------
 
     @property
@@ -190,140 +163,35 @@ class VideoRecordingUseCase:
         The load model lays these out contiguously in the global
         address space (see :mod:`repro.load.addressmap`).
         """
-        n = self.level.frame.pixels
-        nb = self.sensor_frame.pixels
-        nz = self.zoomed_pixels
-        bayer = PixelFormat.BAYER_RGB
-        yuv422 = PixelFormat.YUV422
-        yuv420 = PixelFormat.YUV420
-        rgb = PixelFormat.RGB888
-
-        bufs = [
-            BufferSpec("sensor_raw", bayer.frame_bytes(nb)),
-            BufferSpec("sensor_filtered", bayer.frame_bytes(nb)),
-            BufferSpec("yuv_full", yuv422.frame_bytes(nb)),
-            BufferSpec("yuv_stab", yuv422.frame_bytes(n)),
-            BufferSpec("yuv_zoom", yuv422.frame_bytes(nz)),
-            BufferSpec("display_fb", rgb.frame_bytes(self.display.pixels)),
-        ]
-        for i in range(self.level.reference_frames):
-            bufs.append(BufferSpec(f"ref_{i}", yuv420.frame_bytes(n)))
-        bufs.append(BufferSpec("recon", yuv420.frame_bytes(n)))
-        stream_bytes = max(16, int(self.mux_bits_per_frame / 8) + 16)
-        bufs.append(BufferSpec("video_bs", stream_bytes))
-        bufs.append(BufferSpec("audio_bs", max(16, int(self.audio_bits_per_frame / 8) + 16)))
-        bufs.append(BufferSpec("mux_out", stream_bytes))
-        return bufs
+        return self.workload.buffers()
 
     # -- stages ---------------------------------------------------------------
 
     def stages(self) -> List[StageTraffic]:
         """The Fig. 1 stages in pipeline order, with per-frame traffic."""
-        n = self.level.frame.pixels
-        nb = self.sensor_frame.pixels
-        nz = self.zoomed_pixels
-        bayer = float(PixelFormat.BAYER_RGB.bits_per_pixel)
-        yuv422 = float(PixelFormat.YUV422.bits_per_pixel)
-        yuv420 = float(PixelFormat.YUV420.bits_per_pixel)
-        rgb = float(PixelFormat.RGB888.bits_per_pixel)
-
-        v_frame = self.video_bits_per_frame
-        a_frame = self.audio_bits_per_frame
-        av_frame = self.mux_bits_per_frame
-        display_bits = rgb * self.display.pixels
-        refreshes_per_frame = self.display_refresh_hz / self.level.fps
-
-        n_ref = self.level.reference_frames
-        ref_read_each = self.encoder_factor * yuv420 * n
-
-        if self.intra_only:
-            # I frame: no motion search, so no reference reads.
-            encoder_reads: List[Tuple[str, float]] = [("recon", yuv420 * n)]
-        else:
-            encoder_reads = [(f"ref_{i}", ref_read_each) for i in range(n_ref)]
-            encoder_reads.append(("recon", yuv420 * n))
-
-        return [
-            StageTraffic(
-                "Camera I/F",
-                "image",
-                writes=(("sensor_raw", bayer * nb),),
-            ),
-            StageTraffic(
-                "Preprocess",
-                "image",
-                reads=(("sensor_raw", bayer * nb),),
-                writes=(("sensor_filtered", bayer * nb),),
-            ),
-            StageTraffic(
-                "Bayer to YUV",
-                "image",
-                reads=(("sensor_filtered", bayer * nb),),
-                writes=(("yuv_full", yuv422 * nb),),
-            ),
-            StageTraffic(
-                "Video stabilization",
-                "image",
-                reads=(("yuv_full", yuv422 * nb),),
-                writes=(("yuv_stab", yuv422 * n),),
-            ),
-            StageTraffic(
-                "Post proc & digizoom",
-                "image",
-                reads=(("yuv_stab", yuv422 * n),),
-                writes=(("yuv_zoom", yuv422 * nz),),
-            ),
-            StageTraffic(
-                "Scaling to display",
-                "image",
-                reads=(("yuv_zoom", yuv422 * nz),),
-                writes=(("display_fb", display_bits),),
-            ),
-            StageTraffic(
-                "DisplayCtrl",
-                "image",
-                reads=(("display_fb", display_bits * refreshes_per_frame),),
-            ),
-            StageTraffic(
-                "Video encoder",
-                "coding",
-                reads=tuple(encoder_reads),
-                writes=(("recon", yuv420 * n), ("video_bs", v_frame)),
-            ),
-            StageTraffic(
-                "Multiplex",
-                "coding",
-                reads=(("video_bs", v_frame), ("audio_bs", a_frame)),
-                writes=(("mux_out", av_frame),),
-            ),
-            StageTraffic(
-                "Memory card",
-                "coding",
-                reads=(("mux_out", av_frame),),
-            ),
-        ]
+        return self.workload.stages()
 
     # -- totals ---------------------------------------------------------------
 
     def image_processing_bits_per_frame(self) -> float:
         """Table I: "Image proc. total (1 frame)"."""
-        return sum(s.total_bits for s in self.stages() if s.category == "image")
+        return self.workload.image_processing_bits_per_frame()
 
     def video_coding_bits_per_frame(self) -> float:
         """Table I: "Video coding total (1 frame)"."""
-        return sum(s.total_bits for s in self.stages() if s.category == "coding")
+        return self.workload.video_coding_bits_per_frame()
 
     def total_bits_per_frame(self) -> float:
         """Table I: "Data Mem. load (1 frame)"."""
-        return self.image_processing_bits_per_frame() + self.video_coding_bits_per_frame()
+        return self.workload.total_bits_per_frame()
 
     def total_bytes_per_frame(self) -> float:
         """Per-frame execution-memory traffic in bytes."""
-        return self.total_bits_per_frame() / 8.0
+        return self.workload.total_bytes_per_frame()
 
     def bandwidth_bytes_per_s(self) -> float:
         """Table I: "Data Mem. load [MB/s]" in bytes/s."""
-        return self.total_bytes_per_frame() * self.level.fps
+        return self.workload.bandwidth_bytes_per_s()
 
     def describe(self) -> str:
         """One-line summary for reports."""

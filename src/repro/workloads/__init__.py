@@ -1,0 +1,63 @@
+"""Declarative workload specs and the builtin workload zoo.
+
+ROADMAP item 3: pipelines as *data*, not code.  A
+:class:`~repro.workloads.spec.WorkloadSpec` declares buffers, stages
+with expression-valued read/write traffic, a parameter schema and
+frame/GOP structure; :mod:`repro.workloads.registry` resolves specs by
+name exactly like :mod:`repro.backends.registry` resolves backends;
+:mod:`repro.workloads.zoo` ships the builtins (the paper's
+``h264_camcorder``, bit-identical to the legacy imperative class, plus
+``vvc_encoder``, ``h264_lossy_ec`` and ``vdcm_display``).
+
+See ``docs/architecture.md`` (Workloads) and the cookbook recipe
+"Sweeping a VVC-class workload".
+"""
+
+from repro.workloads.expr import evaluate, validate_symbols
+from repro.workloads.registry import (
+    WorkloadLike,
+    available_workloads,
+    default_workload_name,
+    get_workload,
+    register_workload,
+    resolve_workload,
+    set_default_workload,
+    unregister_workload,
+    validate_workload_name,
+)
+from repro.workloads.spec import (
+    BoundWorkload,
+    BufferDecl,
+    BufferSpec,
+    GopSpec,
+    StageSpec,
+    StageTraffic,
+    TrafficDecl,
+    WorkloadInstance,
+    WorkloadParam,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "BoundWorkload",
+    "BufferDecl",
+    "BufferSpec",
+    "GopSpec",
+    "StageSpec",
+    "StageTraffic",
+    "TrafficDecl",
+    "WorkloadInstance",
+    "WorkloadLike",
+    "WorkloadParam",
+    "WorkloadSpec",
+    "available_workloads",
+    "default_workload_name",
+    "evaluate",
+    "get_workload",
+    "register_workload",
+    "resolve_workload",
+    "set_default_workload",
+    "unregister_workload",
+    "validate_symbols",
+    "validate_workload_name",
+]

@@ -1,0 +1,246 @@
+"""Safe arithmetic expressions for declarative workload specs.
+
+A :class:`~repro.workloads.spec.WorkloadSpec` describes traffic as
+*data*: buffer sizes, per-stage read/write volumes and derived
+quantities are small arithmetic expressions over named symbols
+(``"encoder_factor * yuv420 * n"``) instead of Python code.  That is
+what makes a workload serialisable, diffable and registrable at
+runtime -- but it needs an evaluator that is
+
+- **deterministic**: plain IEEE-754/integer arithmetic, evaluated
+  left to right exactly as Python would, so a spec re-expressing an
+  imperative pipeline reproduces its numbers *bit for bit* (the
+  ``h264_camcorder`` spec is pinned bit-identical to the legacy
+  :class:`~repro.usecase.pipeline.VideoRecordingUseCase` formulas);
+- **closed**: no attribute access, no subscripts, no general calls,
+  no comprehensions -- a workload spec loaded from a dict cannot touch
+  anything outside its declared symbols.  Anything outside the
+  whitelist raises :class:`~repro.errors.ConfigurationError` naming
+  the offending construct.
+
+Supported grammar: numeric literals, ``True``/``False``, names bound
+in the environment, ``+ - * / // % **``, unary ``-``/``+``/``not``,
+comparisons (including chains), ``and``/``or``, conditional
+expressions (``a if cond else b``) and calls to the whitelisted
+functions ``min``, ``max``, ``abs``, ``round``, ``int``, ``float``,
+``ceil`` and ``floor``.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Values an expression may produce or consume.
+Number = Union[bool, int, float]
+
+#: Callables reachable from workload expressions.  Deliberately tiny:
+#: pure, deterministic, total on numbers.
+FUNCTIONS: Mapping[str, object] = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "round": round,
+    "int": int,
+    "float": float,
+    "ceil": math.ceil,
+    "floor": math.floor,
+}
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+}
+
+_CMPOPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+}
+
+
+class _Evaluator(ast.NodeVisitor):
+    """Evaluates one parsed expression over a symbol environment."""
+
+    def __init__(self, source: str, env: Mapping[str, Number]) -> None:
+        self.source = source
+        self.env = env
+
+    def _fail(self, node: ast.AST, what: str) -> ConfigurationError:
+        return ConfigurationError(
+            f"workload expression {self.source!r}: {what} is not allowed "
+            "(supported: numbers, named symbols, arithmetic, comparisons, "
+            "and/or/not, conditional expressions, and calls to "
+            f"{', '.join(sorted(FUNCTIONS))})"
+        )
+
+    def visit(self, node: ast.AST) -> Number:  # noqa: D102 - dispatcher
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            raise self._fail(node, type(node).__name__)
+        return method(node)
+
+    def _eval_Expression(self, node: ast.Expression) -> Number:
+        return self.visit(node.body)
+
+    def _eval_Constant(self, node: ast.Constant) -> Number:
+        if isinstance(node.value, bool) or isinstance(node.value, (int, float)):
+            return node.value
+        raise self._fail(node, f"literal {node.value!r}")
+
+    def _eval_Name(self, node: ast.Name) -> Number:
+        try:
+            return self.env[node.id]
+        except KeyError:
+            raise ConfigurationError(
+                f"workload expression {self.source!r} references unknown "
+                f"symbol {node.id!r}; known symbols: "
+                f"{', '.join(sorted(self.env))}"
+            ) from None
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Number:
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise self._fail(node, f"operator {type(node.op).__name__}")
+        left = self.visit(node.left)
+        right = self.visit(node.right)
+        try:
+            return op(left, right)
+        except ZeroDivisionError:
+            raise ConfigurationError(
+                f"workload expression {self.source!r} divides by zero"
+            ) from None
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> Number:
+        operand = self.visit(node.operand)
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return +operand
+        if isinstance(node.op, ast.Not):
+            return not operand
+        raise self._fail(node, f"operator {type(node.op).__name__}")
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> Number:
+        if isinstance(node.op, ast.And):
+            value: Number = True
+            for clause in node.values:
+                value = self.visit(clause)
+                if not value:
+                    return value
+            return value
+        value = False
+        for clause in node.values:
+            value = self.visit(clause)
+            if value:
+                return value
+        return value
+
+    def _eval_Compare(self, node: ast.Compare) -> Number:
+        left = self.visit(node.left)
+        for op_node, comparator in zip(node.ops, node.comparators):
+            op = _CMPOPS.get(type(op_node))
+            if op is None:
+                raise self._fail(node, f"comparison {type(op_node).__name__}")
+            right = self.visit(comparator)
+            if not op(left, right):
+                return False
+            left = right
+        return True
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Number:
+        return self.visit(node.body) if self.visit(node.test) else self.visit(node.orelse)
+
+    def _eval_Call(self, node: ast.Call) -> Number:
+        if not isinstance(node.func, ast.Name) or node.func.id not in FUNCTIONS:
+            raise self._fail(node, "calling anything but the whitelisted functions")
+        if node.keywords:
+            raise self._fail(node, "keyword arguments")
+        args = [self.visit(arg) for arg in node.args]
+        return FUNCTIONS[node.func.id](*args)
+
+
+def evaluate(source: str, env: Mapping[str, Number]) -> Number:
+    """Evaluate one workload expression over ``env``.
+
+    Raises :class:`~repro.errors.ConfigurationError` on syntax errors,
+    unknown symbols or constructs outside the supported grammar; the
+    message always quotes the offending expression, so a broken spec
+    fails loudly at instantiation, never deep inside a sweep.
+    """
+    if not isinstance(source, str) or not source.strip():
+        raise ConfigurationError(
+            f"workload expression must be a non-empty string, got {source!r}"
+        )
+    try:
+        tree = ast.parse(source, mode="eval")
+    except SyntaxError as exc:
+        raise ConfigurationError(
+            f"workload expression {source!r} is not valid: {exc.msg}"
+        ) from None
+    value = _Evaluator(source, env).visit(tree)
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ConfigurationError(
+                f"workload expression {source!r} evaluated to non-finite "
+                f"{value!r}"
+            )
+        return value
+    raise ConfigurationError(
+        f"workload expression {source!r} evaluated to {type(value).__name__}, "
+        "expected a number"
+    )
+
+
+def validate_symbols(source: str) -> Tuple[str, ...]:
+    """Parse ``source`` and return the symbols it references.
+
+    Used by spec validation to check expressions *structurally* at
+    construction time (grammar and referenced names) without needing a
+    full evaluation environment yet.
+    """
+    if not isinstance(source, str) or not source.strip():
+        raise ConfigurationError(
+            f"workload expression must be a non-empty string, got {source!r}"
+        )
+    try:
+        tree = ast.parse(source, mode="eval")
+    except SyntaxError as exc:
+        raise ConfigurationError(
+            f"workload expression {source!r} is not valid: {exc.msg}"
+        ) from None
+    names = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and node.id not in FUNCTIONS:
+                names.append(node.id)
+        elif isinstance(
+            node,
+            (
+                ast.Expression, ast.Constant, ast.BinOp, ast.UnaryOp,
+                ast.BoolOp, ast.Compare, ast.IfExp, ast.Call, ast.Load,
+            ),
+        ):
+            continue
+        elif isinstance(node, (ast.operator, ast.unaryop, ast.boolop, ast.cmpop)):
+            continue
+        else:
+            raise ConfigurationError(
+                f"workload expression {source!r}: "
+                f"{type(node).__name__} is not allowed"
+            )
+    seen: Dict[str, None] = {}
+    for name in names:
+        seen.setdefault(name, None)
+    return tuple(seen)

@@ -1,0 +1,166 @@
+"""Workload registry: name -> :class:`~repro.workloads.spec.WorkloadSpec`.
+
+Mirrors :mod:`repro.backends.registry`: import-light, built-ins
+resolved lazily on first :func:`get_workload` (``import repro`` never
+pays for a spec nobody selected), loud
+:class:`~repro.errors.ConfigurationError` listing the registered names
+on a typo, and a process-wide default the CLI/sweeps fall back to.
+
+Custom workloads -- including ones loaded from JSON via
+:meth:`WorkloadSpec.from_dict` -- register at runtime::
+
+    from repro.workloads import WorkloadSpec, register_workload
+
+    spec = WorkloadSpec.from_dict(json.load(open("my_pipeline.json")))
+    register_workload(spec)
+    # repro-sim sweep --workload my_pipeline ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import BoundWorkload, WorkloadSpec
+
+#: Built-in zoo specs, resolved lazily: name -> (module, builder).
+_BUILTIN: Dict[str, Tuple[str, str]] = {
+    "h264_camcorder": ("repro.workloads.zoo", "h264_camcorder"),
+    "vvc_encoder": ("repro.workloads.zoo", "vvc_encoder"),
+    "h264_lossy_ec": ("repro.workloads.zoo", "h264_lossy_ec"),
+    "vdcm_display": ("repro.workloads.zoo", "vdcm_display"),
+}
+
+#: Instantiated specs (built-ins land here on first resolution).
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+#: What sweeps and the CLI use when no workload is passed -- the
+#: paper's own pipeline, so every historical entry point is unchanged.
+_DEFAULT_WORKLOAD = "h264_camcorder"
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Sorted names of every registered workload (built-in + custom)."""
+    return tuple(sorted(set(_BUILTIN) | set(_REGISTRY)))
+
+
+def validate_workload_name(name: str) -> str:
+    """Check that ``name`` is a registered workload and return it.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming the
+    registered workloads otherwise -- the error a typo'd
+    ``--workload vcc_encoder`` hits, eagerly in the CLI.
+    """
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"workload must be a workload name (str), got {name!r}; "
+            f"registered workloads: {', '.join(available_workloads())}"
+        )
+    if name not in _BUILTIN and name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; registered workloads: "
+            f"{', '.join(available_workloads())}"
+        )
+    return name
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Resolve a workload name to its registered spec.
+
+    Built-in zoo specs are imported and built on first use and cached.
+    Unknown names raise :class:`~repro.errors.ConfigurationError`
+    listing what is registered.
+    """
+    validate_workload_name(name)
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        import importlib
+
+        module_name, builder_name = _BUILTIN[name]
+        builder = getattr(importlib.import_module(module_name), builder_name)
+        spec = builder()
+        if spec.name != name:
+            raise ConfigurationError(
+                f"builtin workload builder {builder_name!r} produced spec "
+                f"named {spec.name!r}, expected {name!r}"
+            )
+        _REGISTRY[name] = spec
+    return spec
+
+
+def register_workload(spec: WorkloadSpec, replace: bool = False) -> None:
+    """Register a workload spec under ``spec.name``.
+
+    ``replace=True`` allows shadowing an existing registration
+    (including a built-in); without it a name collision raises
+    :class:`~repro.errors.ConfigurationError` -- silently replacing
+    the paper's camcorder would invalidate every golden.
+    """
+    if not isinstance(spec, WorkloadSpec):
+        raise ConfigurationError(
+            f"expected a WorkloadSpec, got {type(spec).__name__}"
+        )
+    if not replace and (spec.name in _BUILTIN or spec.name in _REGISTRY):
+        raise ConfigurationError(
+            f"workload name {spec.name!r} is already registered "
+            "(pass replace=True to shadow it)"
+        )
+    _REGISTRY[spec.name] = spec
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a runtime registration (built-ins reappear lazily)."""
+    _REGISTRY.pop(name, None)
+
+
+def default_workload_name() -> str:
+    """The workload sweeps select when none is passed."""
+    return _DEFAULT_WORKLOAD
+
+
+def set_default_workload(name: str) -> str:
+    """Set the process-wide default workload; returns the previous one."""
+    global _DEFAULT_WORKLOAD
+    validate_workload_name(name)
+    previous = _DEFAULT_WORKLOAD
+    _DEFAULT_WORKLOAD = name
+    return previous
+
+
+#: What callers may hand to :func:`resolve_workload`.
+WorkloadLike = Union[None, str, WorkloadSpec, BoundWorkload]
+
+
+def resolve_workload(
+    workload: WorkloadLike = None,
+    params: Optional[Mapping[str, Any]] = None,
+) -> BoundWorkload:
+    """Normalise any accepted workload designation to a
+    :class:`~repro.workloads.spec.BoundWorkload`.
+
+    - ``None`` -> the process default (:func:`default_workload_name`),
+      so every legacy call site routes through the spec machinery;
+    - a registered name (``"vvc_encoder"``);
+    - a :class:`WorkloadSpec` (registered or not);
+    - an already-bound workload (``params`` are layered on top).
+
+    ``params`` are parameter overrides validated against the spec's
+    schema -- unknown names or out-of-range values raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    overrides = dict(params or {})
+    if workload is None:
+        workload = default_workload_name()
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if isinstance(workload, WorkloadSpec):
+        return workload.bind(**overrides)
+    if isinstance(workload, BoundWorkload):
+        if overrides:
+            return workload.with_params(**overrides)
+        return workload
+    raise ConfigurationError(
+        f"workload must be a name, WorkloadSpec or BoundWorkload, "
+        f"got {type(workload).__name__}; registered workloads: "
+        f"{', '.join(available_workloads())}"
+    )

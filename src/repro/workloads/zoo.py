@@ -1,0 +1,453 @@
+"""The builtin workload zoo.
+
+Four declarative :class:`~repro.workloads.spec.WorkloadSpec` builders,
+resolved lazily by :mod:`repro.workloads.registry`:
+
+``h264_camcorder``
+    The paper's Fig. 1 video-recording pipeline, re-expressed as data.
+    Every derived expression mirrors the legacy
+    :class:`~repro.usecase.pipeline.VideoRecordingUseCase` formula in
+    the same operation order, so the instantiated traffic is **bit
+    identical** to the imperative class (pinned by
+    ``tests/workloads/test_camcorder_exact.py`` and, transitively, by
+    ``verify-paper`` staying exact at 186/186).
+
+``vvc_encoder``
+    A VVC/H.266-class capture-and-encode pipeline (PAPERS.md: *Memory
+    Assessment of Versatile Video Coding*).  10-bit 4:2:0 frames,
+    **two reference lists** multiplying the reference-buffer count,
+    and a doubled implementation constant -- applied as the motion
+    search stage's per-stage traffic ``scale`` factor -- make the
+    reference-frame traffic dwarf the H.264 camcorder's.  A
+    ``bitrate_scale`` knob models VVC's better compression (default
+    half the level's H.264 bitrate ceiling).
+
+``h264_lossy_ec``
+    The camcorder's encoder loop with lossy **embedded compression**
+    on the reference/reconstruction frame buffers (PAPERS.md:
+    *Frame-level quality and memory traffic allocation for lossy
+    embedded compression*).  The ``ec_ratio`` knob (0.25..1.0) scales
+    both the frame-buffer footprints and the motion-search traffic;
+    the documented ``quality_cost_db`` metric models the PSNR price of
+    the traffic saved.
+
+``vdcm_display``
+    A VESA DSC/VDC-M-class display-stream **decoder**: a compressed
+    stream is DMA'd in, decoded by ``slices`` parallel slice engines
+    through counted line buffers, rastered to a frame buffer and
+    scanned out at the panel refresh rate.  No reference frames and no
+    GOP structure -- it exercises the analysis paths the encoder
+    workloads never hit.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import (
+    BufferDecl,
+    GopSpec,
+    StageSpec,
+    TrafficDecl,
+    WorkloadParam,
+    WorkloadSpec,
+)
+
+
+def h264_camcorder() -> WorkloadSpec:
+    """The Fig. 1 H.264 camcorder, traffic-identical to the legacy class."""
+    return WorkloadSpec(
+        name="h264_camcorder",
+        title="Fig. 1 H.264/AVC camcorder recording pipeline",
+        description=(
+            "The paper's video-recording use case: sensor capture with a "
+            "stabilization border, Bayer-to-YUV conversion, stabilization, "
+            "digital zoom, WVGA display refresh, H.264 encoding against "
+            "n_ref reference frames (the implementation-dependent factor "
+            "of six), audio multiplex and removable-media writeback."
+        ),
+        params=(
+            WorkloadParam(
+                "digizoom", 1.0, doc="Digital zoom factor z (emits ~N/z^2 pixels).",
+                minimum=1.0,
+            ),
+            WorkloadParam(
+                "display_pixels", 384000,
+                doc="Device display raster size in pixels (WVGA 800x480).",
+                minimum=1,
+            ),
+            WorkloadParam(
+                "display_refresh_hz", 60.0,
+                doc="Display controller refresh rate, Hz (refresh is "
+                    "independent of the recording frame rate).",
+                minimum=1.0,
+            ),
+            WorkloadParam(
+                "stabilization_border", 1.2,
+                doc="Linear sensor over-scan factor (1.2 = 20% border).",
+                minimum=1.0,
+            ),
+            WorkloadParam(
+                "encoder_factor", 6.0,
+                doc="Implementation-dependent encoder constant: each "
+                    "reference frame is read this many times over per "
+                    "encoded frame.",
+                minimum=0.0,
+            ),
+            WorkloadParam(
+                "audio_bitrate_mbps", 0.192,
+                doc="Accompanying audio stream bitrate, Mb/s.",
+                minimum=0.0,
+            ),
+            WorkloadParam(
+                "intra_only", False,
+                doc="Model an intra-coded (I) frame: no reference reads.",
+            ),
+        ),
+        derived=(
+            # Same operation order as the legacy class, so the floats
+            # agree bit for bit (see tests/workloads/test_camcorder_exact.py).
+            ("nb", "round(frame_width * stabilization_border) * "
+                   "round(frame_height * stabilization_border)"),
+            ("nz", "max(1, round(n / (digizoom * digizoom)))"),
+            ("v_frame", "bitrate_mbps * 1e6 / fps"),
+            ("a_frame", "audio_bitrate_mbps * 1e6 / fps"),
+            ("av_frame", "v_frame + a_frame"),
+            ("display_bits", "rgb888 * display_pixels"),
+            ("refreshes", "display_refresh_hz / fps"),
+            ("stream_bytes", "max(16, int(av_frame / 8) + 16)"),
+            ("audio_stream_bytes", "max(16, int(a_frame / 8) + 16)"),
+            ("ref_read_each", "encoder_factor * yuv420 * n"),
+        ),
+        buffers=(
+            BufferDecl("sensor_raw", "(nb * bayer + 7) // 8", conserved=True),
+            BufferDecl("sensor_filtered", "(nb * bayer + 7) // 8", conserved=True),
+            BufferDecl("yuv_full", "(nb * yuv422 + 7) // 8", conserved=True),
+            BufferDecl("yuv_stab", "(n * yuv422 + 7) // 8", conserved=True),
+            BufferDecl("yuv_zoom", "(nz * yuv422 + 7) // 8", conserved=True),
+            BufferDecl("display_fb", "(display_pixels * rgb888 + 7) // 8"),
+            BufferDecl("ref", "(n * yuv420 + 7) // 8", count="n_ref"),
+            BufferDecl("recon", "(n * yuv420 + 7) // 8", conserved=True),
+            BufferDecl("video_bs", "stream_bytes", conserved=True),
+            BufferDecl("audio_bs", "audio_stream_bytes"),
+            BufferDecl("mux_out", "stream_bytes", conserved=True),
+        ),
+        stages=(
+            StageSpec(
+                "Camera I/F", "image",
+                writes=(TrafficDecl("sensor_raw", "bayer * nb"),),
+            ),
+            StageSpec(
+                "Preprocess", "image",
+                reads=(TrafficDecl("sensor_raw", "bayer * nb"),),
+                writes=(TrafficDecl("sensor_filtered", "bayer * nb"),),
+            ),
+            StageSpec(
+                "Bayer to YUV", "image",
+                reads=(TrafficDecl("sensor_filtered", "bayer * nb"),),
+                writes=(TrafficDecl("yuv_full", "yuv422 * nb"),),
+            ),
+            StageSpec(
+                "Video stabilization", "image",
+                reads=(TrafficDecl("yuv_full", "yuv422 * nb"),),
+                writes=(TrafficDecl("yuv_stab", "yuv422 * n"),),
+            ),
+            StageSpec(
+                "Post proc & digizoom", "image",
+                reads=(TrafficDecl("yuv_stab", "yuv422 * n"),),
+                writes=(TrafficDecl("yuv_zoom", "yuv422 * nz"),),
+            ),
+            StageSpec(
+                "Scaling to display", "image",
+                reads=(TrafficDecl("yuv_zoom", "yuv422 * nz"),),
+                writes=(TrafficDecl("display_fb", "display_bits"),),
+            ),
+            StageSpec(
+                "DisplayCtrl", "image",
+                reads=(TrafficDecl("display_fb", "display_bits * refreshes"),),
+            ),
+            StageSpec(
+                "Video encoder", "coding",
+                reads=(
+                    TrafficDecl("ref", "ref_read_each",
+                                when="not intra_only", each=True),
+                    TrafficDecl("recon", "yuv420 * n"),
+                ),
+                writes=(
+                    TrafficDecl("recon", "yuv420 * n"),
+                    TrafficDecl("video_bs", "v_frame"),
+                ),
+            ),
+            StageSpec(
+                "Multiplex", "coding",
+                reads=(
+                    TrafficDecl("video_bs", "v_frame"),
+                    TrafficDecl("audio_bs", "a_frame"),
+                ),
+                writes=(TrafficDecl("mux_out", "av_frame"),),
+            ),
+            StageSpec(
+                "Memory card", "coding",
+                reads=(TrafficDecl("mux_out", "av_frame"),),
+            ),
+        ),
+        gop=GopSpec(length=15, intra_param="intra_only"),
+    )
+
+
+def vvc_encoder() -> WorkloadSpec:
+    """VVC-class encoder: two reference lists, scaled motion search."""
+    return WorkloadSpec(
+        name="vvc_encoder",
+        title="VVC/H.266-class capture-and-encode pipeline",
+        description=(
+            "Versatile Video Coding inflates the decoded-picture-buffer "
+            "traffic: 10-bit 4:2:0 frames, two reference lists (so "
+            "n_ref * ref_lists reference buffers are swept per frame) "
+            "and a larger implementation constant for the multi-tool "
+            "motion search.  In exchange the output bitrate drops to "
+            "bitrate_scale of the level's H.264 ceiling."
+        ),
+        params=(
+            WorkloadParam(
+                "ref_lists", 2,
+                doc="Reference picture lists; buffers = n_ref * ref_lists.",
+                minimum=1, maximum=4,
+            ),
+            WorkloadParam(
+                "encoder_factor", 12.0,
+                doc="Implementation constant of the VVC motion search "
+                    "(applied as the stage's traffic scale factor).",
+                minimum=0.0,
+            ),
+            WorkloadParam(
+                "bit_depth", 10,
+                doc="Sample bit depth; 4:2:0 storage is bit_depth*3/2 "
+                    "bits per pixel.",
+                minimum=8, maximum=16,
+            ),
+            WorkloadParam(
+                "bitrate_scale", 0.5,
+                doc="Output bitrate relative to the level's H.264 "
+                    "ceiling (VVC's compression gain).",
+                minimum=0.05, maximum=1.0,
+            ),
+            WorkloadParam(
+                "intra_only", False,
+                doc="Model an intra-coded frame: no reference reads.",
+            ),
+        ),
+        derived=(
+            ("pel_bits", "bit_depth * 3 / 2"),
+            ("frame_bits", "pel_bits * n"),
+            ("v_frame", "bitrate_mbps * 1e6 / fps * bitrate_scale"),
+            ("stream_bytes", "max(16, int(v_frame / 8) + 16)"),
+        ),
+        buffers=(
+            BufferDecl("yuv_src", "(n * pel_bits + 7) // 8", conserved=True),
+            BufferDecl("yuv_proc", "(n * pel_bits + 7) // 8", conserved=True),
+            BufferDecl("ref", "(n * pel_bits + 7) // 8",
+                       count="n_ref * ref_lists"),
+            BufferDecl("recon", "(n * pel_bits + 7) // 8", conserved=True),
+            BufferDecl("video_bs", "stream_bytes", conserved=True),
+        ),
+        stages=(
+            StageSpec(
+                "Capture", "image",
+                writes=(TrafficDecl("yuv_src", "frame_bits"),),
+            ),
+            StageSpec(
+                "Preprocess", "image",
+                reads=(TrafficDecl("yuv_src", "frame_bits"),),
+                writes=(TrafficDecl("yuv_proc", "frame_bits"),),
+            ),
+            StageSpec(
+                # The implementation constant is this stage's traffic
+                # scale: every reference is swept encoder_factor times.
+                "Motion search", "coding",
+                scale="encoder_factor",
+                reads=(
+                    TrafficDecl("ref", "frame_bits",
+                                when="not intra_only", each=True),
+                ),
+            ),
+            StageSpec(
+                "Encode & reconstruct", "coding",
+                reads=(
+                    TrafficDecl("yuv_proc", "frame_bits"),
+                    TrafficDecl("recon", "frame_bits"),
+                ),
+                writes=(
+                    TrafficDecl("recon", "frame_bits"),
+                    TrafficDecl("video_bs", "v_frame"),
+                ),
+            ),
+            StageSpec(
+                "Bitstream out", "coding",
+                reads=(TrafficDecl("video_bs", "v_frame"),),
+            ),
+        ),
+        gop=GopSpec(length=32, intra_param="intra_only"),
+        metrics=(
+            ("dpb_bytes", "(n * pel_bits + 7) // 8 * (n_ref * ref_lists + 1)"),
+        ),
+    )
+
+
+def h264_lossy_ec() -> WorkloadSpec:
+    """H.264 encoder loop with lossy embedded frame-buffer compression."""
+    return WorkloadSpec(
+        name="h264_lossy_ec",
+        title="H.264 encoder with lossy embedded reference compression",
+        description=(
+            "The camcorder's encoder loop with an embedded codec on the "
+            "reference/reconstruction path: frame buffers shrink to "
+            "ec_ratio of their raw footprint and the motion-search "
+            "traffic scales down with them.  The quality_cost_db metric "
+            "documents the PSNR price of the traffic saved "
+            "(quality_slope_db dB per unit of traffic removed)."
+        ),
+        params=(
+            WorkloadParam(
+                "ec_ratio", 0.5,
+                doc="Embedded-compression ratio: compressed frame-buffer "
+                    "traffic / raw traffic (1.0 = lossless passthrough).",
+                minimum=0.25, maximum=1.0,
+            ),
+            WorkloadParam(
+                "encoder_factor", 6.0,
+                doc="Implementation-dependent motion-search constant.",
+                minimum=0.0,
+            ),
+            WorkloadParam(
+                "quality_slope_db", 4.0,
+                doc="PSNR cost in dB per unit of frame-buffer traffic "
+                    "removed (the frame-level allocation model's slope).",
+                minimum=0.0,
+            ),
+            WorkloadParam(
+                "intra_only", False,
+                doc="Model an intra-coded frame: no reference reads.",
+            ),
+        ),
+        derived=(
+            ("v_frame", "bitrate_mbps * 1e6 / fps"),
+            ("stream_bytes", "max(16, int(v_frame / 8) + 16)"),
+            ("ec_frame_bits", "yuv420 * n * ec_ratio"),
+            ("ref_read_each", "encoder_factor * ec_frame_bits"),
+        ),
+        buffers=(
+            BufferDecl("sensor_raw", "(n * bayer + 7) // 8", conserved=True),
+            BufferDecl("yuv", "(n * yuv420 + 7) // 8", conserved=True),
+            BufferDecl("ref", "max(16, int(((n * yuv420 + 7) // 8) * ec_ratio))",
+                       count="n_ref"),
+            BufferDecl("recon_c", "max(16, int(((n * yuv420 + 7) // 8) * ec_ratio))",
+                       conserved=True),
+            BufferDecl("video_bs", "stream_bytes", conserved=True),
+        ),
+        stages=(
+            StageSpec(
+                "Camera I/F", "image",
+                writes=(TrafficDecl("sensor_raw", "bayer * n"),),
+            ),
+            StageSpec(
+                "ISP", "image",
+                reads=(TrafficDecl("sensor_raw", "bayer * n"),),
+                writes=(TrafficDecl("yuv", "yuv420 * n"),),
+            ),
+            StageSpec(
+                "Video encoder", "coding",
+                reads=(
+                    TrafficDecl("yuv", "yuv420 * n"),
+                    TrafficDecl("ref", "ref_read_each",
+                                when="not intra_only", each=True),
+                    TrafficDecl("recon_c", "ec_frame_bits"),
+                ),
+                writes=(
+                    TrafficDecl("recon_c", "ec_frame_bits"),
+                    TrafficDecl("video_bs", "v_frame"),
+                ),
+            ),
+            StageSpec(
+                "Writeback", "coding",
+                reads=(TrafficDecl("video_bs", "v_frame"),),
+            ),
+        ),
+        gop=GopSpec(length=15, intra_param="intra_only"),
+        metrics=(
+            ("quality_cost_db", "(1.0 - ec_ratio) * quality_slope_db"),
+            ("traffic_saved_ratio", "1.0 - ec_ratio"),
+        ),
+    )
+
+
+def vdcm_display() -> WorkloadSpec:
+    """VDC-M-class display-stream decoder with parallel slice buffers."""
+    return WorkloadSpec(
+        name="vdcm_display",
+        title="VDC-M-class display-stream decoder",
+        description=(
+            "A VESA display-compression decoder: the compressed stream "
+            "is DMA'd into a bitstream buffer, decoded by `slices` "
+            "parallel slice engines through per-slice line buffers, "
+            "rastered into an RGB888 frame buffer and scanned out at "
+            "the panel refresh rate.  No reference frames, no GOP."
+        ),
+        params=(
+            WorkloadParam(
+                "slices", 4,
+                doc="Parallel slice decoders (each gets its own line "
+                    "buffer).",
+                minimum=1, maximum=16,
+            ),
+            WorkloadParam(
+                "compressed_bpp", 6.0,
+                doc="Compressed stream rate, bits per pixel.",
+                minimum=1.0, maximum=24.0,
+            ),
+            WorkloadParam(
+                "line_buffer_lines", 4,
+                doc="Raster lines held per slice line buffer.",
+                minimum=1,
+            ),
+            WorkloadParam(
+                "refresh_hz", 60.0,
+                doc="Panel refresh rate, Hz.",
+                minimum=1.0,
+            ),
+        ),
+        derived=(
+            ("cstream_bits", "compressed_bpp * n"),
+            ("slice_pixels", "ceil(n / slices)"),
+            ("slice_bits", "rgb888 * slice_pixels"),
+            ("line_buffer_bytes",
+             "(frame_width * rgb888 * line_buffer_lines + 7) // 8"),
+            ("scanouts", "refresh_hz / fps"),
+        ),
+        buffers=(
+            BufferDecl("bitstream", "max(16, int(cstream_bits / 8) + 16)",
+                       conserved=True),
+            BufferDecl("slice_buf", "line_buffer_bytes", count="slices",
+                       conserved=True),
+            BufferDecl("display_fb", "(n * rgb888 + 7) // 8"),
+        ),
+        stages=(
+            StageSpec(
+                "Stream DMA", "coding",
+                writes=(TrafficDecl("bitstream", "cstream_bits"),),
+            ),
+            StageSpec(
+                "Slice decode", "coding",
+                reads=(TrafficDecl("bitstream", "cstream_bits"),),
+                writes=(TrafficDecl("slice_buf", "slice_bits", each=True),),
+            ),
+            StageSpec(
+                "Raster out", "image",
+                reads=(TrafficDecl("slice_buf", "slice_bits", each=True),),
+                writes=(TrafficDecl("display_fb", "rgb888 * n"),),
+            ),
+            StageSpec(
+                "DisplayCtrl", "image",
+                reads=(TrafficDecl("display_fb", "rgb888 * n * scanouts"),),
+            ),
+        ),
+        gop=GopSpec(length=1, intra_param=None),
+    )

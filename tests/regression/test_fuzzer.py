@@ -19,6 +19,7 @@ from repro.regression import (
     run_repro,
     shrink_case,
 )
+from repro.regression.fuzzer import TRAFFIC_KINDS
 from repro.telemetry import Telemetry
 
 
@@ -41,7 +42,7 @@ class TestDeterminism:
         cases = generate_cases(0, 60)
         assert len({c.config.channels for c in cases}) >= 4
         assert len({c.config.freq_mhz for c in cases}) >= 5
-        assert len({c.kind for c in cases}) == 5
+        assert {c.kind for c in cases} == {kind for kind, _ in TRAFFIC_KINDS}
         assert any(c.streaming for c in cases)
         assert any(not c.streaming for c in cases)
 

@@ -276,8 +276,10 @@ class TestSweepIntegration:
         from repro.analysis.sweep import job_keys
         from repro.load.model import DEFAULT_BLOCK_BYTES
         from repro.load.scaling import DEFAULT_CHUNK_BUDGET
+        from repro.workloads.registry import resolve_workload
 
         cache = ResultCache(tmp_path / "cache")
+        workload = resolve_workload()
         jobs = [
             (
                 index,
@@ -286,6 +288,7 @@ class TestSweepIntegration:
                 SCALE,
                 DEFAULT_CHUNK_BUDGET,
                 DEFAULT_BLOCK_BYTES,
+                workload,
             )
             for index, config in enumerate(self.CONFIGS)
         ]

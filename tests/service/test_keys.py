@@ -121,8 +121,18 @@ class TestCanonicalKey:
 
 
 class TestJobKeys:
-    def _job(self, index, config, scale=0.125):
-        return (index, level_by_name("3.1"), config, scale, 60_000, 64)
+    def _job(self, index, config, scale=0.125, workload=None):
+        from repro.workloads.registry import resolve_workload
+
+        return (
+            index,
+            level_by_name("3.1"),
+            config,
+            scale,
+            60_000,
+            64,
+            resolve_workload(workload),
+        )
 
     def test_grid_index_excluded(self):
         """The same configuration must share stored work no matter
@@ -156,3 +166,65 @@ class TestJobKeys:
     def test_checkpoint_key_is_canonical_key(self):
         description = _job_description(self._job(0, SystemConfig(channels=2)))
         assert SweepCheckpoint.key_for(description) == canonical_key(description)
+
+    def test_workloads_never_alias(self):
+        """The same grid point under two different workloads must map
+        to two different canonical keys: a cached vvc_encoder result
+        served to a camcorder sweep would silently corrupt artifacts."""
+        config = SystemConfig(channels=2)
+        keys = {
+            name: job_keys([self._job(0, config, workload=name)])[0]
+            for name in (
+                "h264_camcorder",
+                "vvc_encoder",
+                "h264_lossy_ec",
+                "vdcm_display",
+            )
+        }
+        assert len(set(keys.values())) == len(keys)
+
+    def test_default_workload_matches_explicit_camcorder(self):
+        """Legacy callers (no workload) and explicit camcorder callers
+        must share stored work -- the default routes through the same
+        spec."""
+        config = SystemConfig(channels=2)
+        implicit = job_keys([self._job(0, config)])[0]
+        explicit = job_keys([self._job(0, config, workload="h264_camcorder")])[0]
+        assert implicit == explicit
+
+    def test_workload_params_participate(self):
+        """Changing a spec parameter changes the key (the parameters
+        are part of the bound identity)."""
+        from repro.workloads.registry import resolve_workload
+
+        config = SystemConfig(channels=2)
+        base = resolve_workload("vvc_encoder")
+        tweaked = base.with_params(encoder_factor=13.0)
+        a = job_keys([self._job(0, config, workload=base)])[0]
+        b = job_keys([self._job(0, config, workload=tweaked)])[0]
+        assert a != b
+
+    def test_workload_structure_participates(self):
+        """Re-registering a name with different spec structure changes
+        the key via the structure digest -- a name is not enough."""
+        import dataclasses
+
+        from repro.workloads.registry import (
+            get_workload,
+            register_workload,
+            resolve_workload,
+            unregister_workload,
+        )
+
+        config = SystemConfig(channels=2)
+        original = resolve_workload("vdcm_display")
+        spec = get_workload("vdcm_display")
+        mutated = dataclasses.replace(spec, stages=spec.stages[:-1])
+        register_workload(mutated, replace=True)
+        try:
+            shadowed = resolve_workload("vdcm_display")
+            a = job_keys([self._job(0, config, workload=original)])[0]
+            b = job_keys([self._job(0, config, workload=shadowed)])[0]
+            assert a != b
+        finally:
+            unregister_workload("vdcm_display")

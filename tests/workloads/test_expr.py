@@ -1,0 +1,88 @@
+"""Tests for the workload expression evaluator
+(:mod:`repro.workloads.expr`)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.expr import evaluate, validate_symbols
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        env = {"n": 10, "k": 3.0}
+        assert evaluate("n * 12", env) == 120
+        assert evaluate("n + k", env) == 13.0
+        assert evaluate("n - k", env) == 7.0
+        assert evaluate("n / 4", env) == 2.5
+        assert evaluate("n // 4", env) == 2
+        assert evaluate("n % 4", env) == 2
+        assert evaluate("2 ** 10", env) == 1024
+
+    def test_precedence_and_parens(self):
+        assert evaluate("(2 + 3) * 4", {}) == 20
+        assert evaluate("2 + 3 * 4", {}) == 14
+
+    def test_functions(self):
+        assert evaluate("min(3, 7)", {}) == 3
+        assert evaluate("max(3, 7)", {}) == 7
+        assert evaluate("abs(-2.5)", {}) == 2.5
+        assert evaluate("round(2.5)", {}) == 2
+        assert evaluate("round(3.5)", {}) == 4  # banker's, like Python
+        assert evaluate("int(2.9)", {}) == 2
+        assert evaluate("float(2)", {}) == 2.0
+        assert evaluate("ceil(2.1)", {}) == 3
+        assert evaluate("floor(2.9)", {}) == 2
+
+    def test_conditional_and_bool(self):
+        env = {"intra_only": True, "x": 5}
+        assert evaluate("0 if intra_only else x", env) == 0
+        assert evaluate("x if not intra_only else 0", env) == 0
+        assert evaluate("x > 3 and x < 10", env) is True
+        assert evaluate("1 <= x <= 5", env) is True
+
+    def test_unknown_symbol_lists_known(self):
+        with pytest.raises(ConfigurationError, match="frame_width"):
+            evaluate("typo_symbol", {"frame_width": 1})
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ConfigurationError, match="pow"):
+            evaluate("pow(2, 3)", {})
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate("().__class__", {})
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate("1 +", {})
+
+    def test_division_by_zero_is_loud(self):
+        with pytest.raises(ConfigurationError, match="divides by zero"):
+            evaluate("1 / (n - n)", {"n": 3})
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate("1e308 * 1e308", {})
+
+
+class TestValidateSymbols:
+    def test_returns_referenced_names(self):
+        assert validate_symbols("a * b + min(a, c)") == ("a", "b", "c")
+
+    def test_rejects_statements(self):
+        with pytest.raises(ConfigurationError):
+            validate_symbols("x = 1")
+
+    def test_non_whitelisted_call_rejected_at_evaluation(self):
+        # Structurally a call-to-a-name parses, but evaluation only
+        # ever dispatches to the whitelist -- nothing else is callable.
+        with pytest.raises(ConfigurationError):
+            evaluate("__import__('os')", {"__import__": 1})
+
+    def test_rejects_lambdas(self):
+        with pytest.raises(ConfigurationError):
+            validate_symbols("(lambda: 1)()")
+
+    def test_rejects_subscripts(self):
+        with pytest.raises(ConfigurationError):
+            validate_symbols("a[0]")

@@ -1,0 +1,137 @@
+"""Tests for :mod:`repro.workloads.registry`."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.registry import (
+    available_workloads,
+    default_workload_name,
+    get_workload,
+    register_workload,
+    resolve_workload,
+    set_default_workload,
+    unregister_workload,
+    validate_workload_name,
+)
+from repro.workloads.spec import BoundWorkload, WorkloadSpec
+
+
+class TestLookup:
+    def test_builtins_listed(self):
+        names = available_workloads()
+        for expected in (
+            "h264_camcorder",
+            "vvc_encoder",
+            "h264_lossy_ec",
+            "vdcm_display",
+        ):
+            assert expected in names
+
+    def test_get_is_cached(self):
+        assert get_workload("vvc_encoder") is get_workload("vvc_encoder")
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="h264_camcorder"):
+            get_workload("vcc_encoder")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="registered workloads"):
+            validate_workload_name(42)
+
+    def test_default_is_the_paper_pipeline(self):
+        assert default_workload_name() == "h264_camcorder"
+
+
+class TestRegistration:
+    def _custom(self, name="custom_wl"):
+        spec = get_workload("vdcm_display")
+        import dataclasses
+
+        return dataclasses.replace(spec, name=name)
+
+    def test_register_and_unregister(self):
+        spec = self._custom()
+        register_workload(spec)
+        try:
+            assert get_workload("custom_wl") is spec
+            assert "custom_wl" in available_workloads()
+        finally:
+            unregister_workload("custom_wl")
+        assert "custom_wl" not in available_workloads()
+
+    def test_collision_refused_without_replace(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_workload(self._custom(name="h264_camcorder"))
+
+    def test_replace_shadows_builtin(self):
+        shadow = self._custom(name="h264_camcorder")
+        register_workload(shadow, replace=True)
+        try:
+            assert get_workload("h264_camcorder") is shadow
+        finally:
+            unregister_workload("h264_camcorder")
+        # The builtin reappears lazily.
+        assert get_workload("h264_camcorder").name == "h264_camcorder"
+        assert get_workload("h264_camcorder") is not shadow
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="WorkloadSpec"):
+            register_workload("h264_camcorder")
+
+    def test_from_dict_round_trip_registers(self):
+        payload = get_workload("h264_lossy_ec").to_dict()
+        payload["name"] = "json_loaded"
+        spec = WorkloadSpec.from_dict(payload)
+        register_workload(spec)
+        try:
+            assert resolve_workload("json_loaded").name == "json_loaded"
+        finally:
+            unregister_workload("json_loaded")
+
+
+class TestDefault:
+    def test_set_default_round_trips(self):
+        previous = set_default_workload("vvc_encoder")
+        try:
+            assert default_workload_name() == "vvc_encoder"
+            assert resolve_workload().name == "vvc_encoder"
+        finally:
+            set_default_workload(previous)
+        assert default_workload_name() == "h264_camcorder"
+
+    def test_set_default_validates(self):
+        with pytest.raises(ConfigurationError):
+            set_default_workload("nope")
+
+
+class TestResolve:
+    def test_none_resolves_default(self):
+        bound = resolve_workload()
+        assert isinstance(bound, BoundWorkload)
+        assert bound.name == "h264_camcorder"
+
+    def test_name_resolves(self):
+        assert resolve_workload("vvc_encoder").name == "vvc_encoder"
+
+    def test_spec_resolves(self):
+        spec = get_workload("vdcm_display")
+        assert resolve_workload(spec).spec is spec
+
+    def test_bound_passes_through(self):
+        bound = resolve_workload("vvc_encoder")
+        assert resolve_workload(bound) is bound
+
+    def test_params_layer_on_bound(self):
+        bound = resolve_workload("vvc_encoder", {"encoder_factor": 9.0})
+        assert bound.param_dict()["encoder_factor"] == 9.0
+        layered = resolve_workload(bound, {"intra_only": True})
+        assert layered.param_dict()["encoder_factor"] == 9.0
+        assert layered.param_dict()["intra_only"] is True
+
+    def test_bad_params_are_loud(self):
+        with pytest.raises(ConfigurationError, match="typo"):
+            resolve_workload("vvc_encoder", {"typo": 1})
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="BoundWorkload"):
+            resolve_workload(3.14)

@@ -1,0 +1,156 @@
+"""Invariant tests over every builtin zoo spec, plus the exactness
+pin: ``h264_camcorder`` must reproduce the legacy imperative pipeline
+bit for bit (the contract that keeps ``verify-paper`` exact)."""
+
+import pytest
+
+from repro.usecase.audio import AudioStream
+from repro.usecase.levels import FUTURE_LEVELS, PAPER_LEVELS
+from repro.usecase.pipeline import VideoRecordingUseCase
+from repro.workloads.registry import _BUILTIN, get_workload
+
+ALL_LEVELS = PAPER_LEVELS + FUTURE_LEVELS
+ZOO = sorted(_BUILTIN)
+
+
+@pytest.mark.parametrize("name", ZOO)
+@pytest.mark.parametrize("level", ALL_LEVELS, ids=lambda lv: lv.name)
+class TestZooInvariants:
+    def test_oracles_hold(self, name, level):
+        instance = get_workload(name).instantiate(level)
+        assert instance.check_traffic_oracles() == []
+
+    def test_traffic_positive_and_buffers_sane(self, name, level):
+        instance = get_workload(name).instantiate(level)
+        assert instance.total_bits_per_frame() > 0
+        assert instance.bandwidth_bytes_per_s() > 0
+        buffers = instance.buffers()
+        assert buffers
+        assert all(b.size_bytes > 0 for b in buffers)
+        names = [b.name for b in buffers]
+        assert len(set(names)) == len(names)
+
+    def test_stage_traffic_references_declared_buffers(self, name, level):
+        instance = get_workload(name).instantiate(level)
+        declared = {b.name for b in instance.buffers()}
+        for stage in instance.stages():
+            for buffer_name, _ in stage.reads + stage.writes:
+                assert buffer_name in declared
+
+    def test_metrics_evaluate(self, name, level):
+        instance = get_workload(name).instantiate(level)
+        for value in instance.metrics().values():
+            assert value == value  # finite, not NaN
+
+
+@pytest.mark.parametrize("name", ZOO)
+class TestZooIntraVariants:
+    def test_intra_never_exceeds_inter(self, name):
+        """Where a spec models I-frames, dropping reference reads can
+        only reduce traffic."""
+        spec = get_workload(name)
+        if spec.gop.intra_param is None:
+            pytest.skip("spec has no intra variant")
+        level = PAPER_LEVELS[0]
+        bound = spec.bind()
+        intra = bound.intra_variant(True).instantiate(level)
+        inter = bound.intra_variant(False).instantiate(level)
+        assert intra.total_bits_per_frame() <= inter.total_bits_per_frame()
+
+    def test_gop_length_sane(self, name):
+        assert get_workload(name).gop.length >= 1
+
+
+class TestCamcorderExactness:
+    """The tentpole contract: the declarative ``h264_camcorder``
+    reproduces the legacy imperative formulas *bit for bit* across
+    every level and both frame variants."""
+
+    @pytest.mark.parametrize("level", ALL_LEVELS, ids=lambda lv: lv.name)
+    @pytest.mark.parametrize("intra_only", (False, True))
+    def test_bit_identical_to_legacy(self, level, intra_only):
+        legacy = VideoRecordingUseCase(level, intra_only=intra_only)
+        spec = get_workload("h264_camcorder").instantiate(
+            level, intra_only=intra_only
+        )
+        assert [
+            (b.name, b.size_bytes) for b in spec.buffers()
+        ] == [(b.name, b.size_bytes) for b in legacy.buffers()]
+        legacy_stages = legacy.stages()
+        spec_stages = spec.stages()
+        assert len(spec_stages) == len(legacy_stages)
+        for ours, theirs in zip(spec_stages, legacy_stages):
+            assert ours.name == theirs.name
+            assert ours.category == theirs.category
+            assert ours.reads == theirs.reads
+            assert ours.writes == theirs.writes
+        assert spec.total_bits_per_frame() == legacy.total_bits_per_frame()
+        assert (
+            spec.image_processing_bits_per_frame()
+            == legacy.image_processing_bits_per_frame()
+        )
+        assert (
+            spec.video_coding_bits_per_frame()
+            == legacy.video_coding_bits_per_frame()
+        )
+        assert spec.bandwidth_bytes_per_s() == legacy.bandwidth_bytes_per_s()
+
+    def test_parameter_paths_stay_identical(self):
+        """Non-default facade parameters route through the spec too."""
+        level = PAPER_LEVELS[2]
+        legacy = VideoRecordingUseCase(
+            level,
+            audio=AudioStream(bitrate_mbps=0.384),
+            digizoom=2.0,
+            encoder_factor=8.0,
+            stabilization_border=1.1,
+        )
+        spec = get_workload("h264_camcorder").instantiate(
+            level,
+            audio_bitrate_mbps=0.384,
+            digizoom=2.0,
+            encoder_factor=8.0,
+            stabilization_border=1.1,
+        )
+        assert spec.total_bits_per_frame() == legacy.total_bits_per_frame()
+        assert [(b.name, b.size_bytes) for b in spec.buffers()] == [
+            (b.name, b.size_bytes) for b in legacy.buffers()
+        ]
+
+    def test_facade_delegates_to_workload(self):
+        use_case = VideoRecordingUseCase(PAPER_LEVELS[0])
+        assert use_case.workload.spec.name == "h264_camcorder"
+        assert (
+            use_case.total_bits_per_frame()
+            == use_case.workload.total_bits_per_frame()
+        )
+
+
+class TestZooCharacter:
+    """Loose magnitude checks that keep each zoo spec meaning what its
+    docstring claims (a regression here means someone changed the
+    modelled workload, not a formula typo)."""
+
+    def test_vvc_heavier_than_camcorder(self):
+        level = PAPER_LEVELS[2]
+        vvc = get_workload("vvc_encoder").instantiate(level)
+        camcorder = get_workload("h264_camcorder").instantiate(level)
+        assert vvc.total_bits_per_frame() > camcorder.total_bits_per_frame()
+
+    def test_lossy_ec_saves_traffic(self):
+        level = PAPER_LEVELS[2]
+        lossy = get_workload("h264_lossy_ec").instantiate(level, ec_ratio=0.5)
+        full = get_workload("h264_lossy_ec").instantiate(level, ec_ratio=1.0)
+        assert lossy.total_bits_per_frame() < full.total_bits_per_frame()
+        assert lossy.metric("quality_cost_db") > 0
+        assert full.metric("quality_cost_db") == 0
+
+    def test_vdcm_is_display_bound(self):
+        """The display-stream decoder is far lighter than any encoder
+        and has no I/P structure (flat GOP)."""
+        level = PAPER_LEVELS[2]
+        vdcm = get_workload("vdcm_display").instantiate(level)
+        camcorder = get_workload("h264_camcorder").instantiate(level)
+        assert vdcm.total_bits_per_frame() < camcorder.total_bits_per_frame()
+        spec = get_workload("vdcm_display")
+        assert spec.gop.intra_param is None
