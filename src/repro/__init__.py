@@ -117,6 +117,11 @@ _LAZY_ATTRS = {
     "run_xdr_comparison": "repro.analysis",
     "simulate_use_case": "repro.analysis",
     "sweep_use_case": "repro.analysis",
+    # oracle (pulls in repro.analysis, so it must stay lazy too)
+    "CostPlanner": "repro.oracle",
+    "FeasibilityOracle": "repro.oracle",
+    "OracleAnswer": "repro.oracle",
+    "SurrogateSurface": "repro.oracle",
     # telemetry
     "CallbackProgressSink": "repro.telemetry",
     "MetricsRegistry": "repro.telemetry",
@@ -165,6 +170,11 @@ __all__ = [
     "run_xdr_comparison",
     "simulate_use_case",
     "sweep_use_case",
+    # oracle (lazy)
+    "CostPlanner",
+    "FeasibilityOracle",
+    "OracleAnswer",
+    "SurrogateSurface",
     # backends
     "ChannelBackend",
     "available_backends",

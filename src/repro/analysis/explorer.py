@@ -34,8 +34,10 @@ from repro.errors import ConfigurationError
 from repro.load.model import VideoRecordingLoadModel
 from repro.load.pacing import pace_transactions
 from repro.load.scaling import DEFAULT_CHUNK_BUDGET, choose_scale
+from repro.oracle.planner import screen_survivors
 from repro.parallel import resolve_workers
 from repro.power.report import compute_frame_power
+from repro.telemetry.session import Telemetry
 from repro.usecase.levels import H264Level
 from repro.usecase.pipeline import VideoRecordingUseCase
 from repro.workloads.registry import WorkloadLike, resolve_workload
@@ -53,6 +55,7 @@ def minimum_channels(
     point_timeout: Optional[float] = None,
     cache: Optional[object] = None,
     workload: WorkloadLike = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Optional[int]:
     """Smallest channel count meeting the level's real-time target.
 
@@ -98,6 +101,7 @@ def minimum_channels(
             point_timeout=point_timeout,
             cache=cache,
             workload=workload,
+            telemetry=telemetry,
         )
     else:
         points = (
@@ -106,6 +110,7 @@ def minimum_channels(
                 config_for(m),
                 chunk_budget=chunk_budget,
                 workload=workload,
+                telemetry=telemetry,
             )
             for m in counts
         )
@@ -131,6 +136,7 @@ def find_minimum_power_configuration(
     point_timeout: Optional[float] = None,
     cache: Optional[object] = None,
     workload: WorkloadLike = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Optional[SweepPoint]:
     """Cheapest (by average power) PASS configuration for ``level``.
 
@@ -149,9 +155,18 @@ def find_minimum_power_configuration(
     time misses the real-time requirement by more than
     ``prescreen_slack`` (a fractional safety margin absorbing the
     screen's tolerance) are discarded, and only the survivors are
-    re-simulated under ``backend`` for the authoritative answer.  If
-    the screen eliminates everything, the full grid is refined anyway
-    rather than trusting a low-fidelity "infeasible".
+    re-simulated under ``backend`` for the authoritative answer.  The
+    discard policy itself --
+    :func:`repro.oracle.planner.screen_survivors` -- is shared with
+    the feasibility oracle's cost planner, so there is one escalation
+    policy in the codebase; it validates the frame period and the
+    slack loudly (a degenerate limit would silently turn the screen
+    into "discard everything").  If the screen eliminates everything,
+    the full grid is refined anyway rather than trusting a
+    low-fidelity "infeasible", and the fallback is announced via the
+    ``explorer.prescreen_empty`` telemetry counter (alongside
+    ``explorer.prescreen_points`` / ``explorer.prescreen_survivors``)
+    instead of double-simulating silently.
 
     ``cache`` names a persistent content-addressed result store
     directory shared by both phases; keys include the backend, so the
@@ -165,6 +180,7 @@ def find_minimum_power_configuration(
     ]
     if backend is not None:
         configs = [config.with_backend(backend) for config in configs]
+    registry = telemetry.registry if telemetry is not None else None
     if prescreen_backend is not None:
         screened = sweep_use_case(
             [level],
@@ -176,21 +192,30 @@ def find_minimum_power_configuration(
             point_timeout=point_timeout,
             cache=cache,
             workload=workload,
+            telemetry=telemetry,
         )
-        limit_ms = level.frame_period_ms * (1.0 + prescreen_slack)
         survivors = [
             point.config.with_backend(
                 backend if backend is not None else default_backend_name()
             )
-            for point in screened
-            if point.access_time_ms <= limit_ms
+            for point in screen_survivors(
+                screened, level.frame_period_ms, prescreen_slack
+            )
         ]
+        if registry is not None:
+            registry.counter("explorer.prescreen_points").add(len(screened))
+            registry.counter("explorer.prescreen_survivors").add(len(survivors))
+            # Pre-register at zero so the fallback counter exports
+            # (visibly zero) on every pre-screened exploration.
+            registry.counter("explorer.prescreen_empty").add(0)
         if survivors:
             configs = survivors
+        elif registry is not None:
+            registry.counter("explorer.prescreen_empty").add(1)
     points = sweep_use_case(
         [level], configs, chunk_budget=chunk_budget, workers=workers,
         strict=strict, point_timeout=point_timeout, cache=cache,
-        workload=workload,
+        workload=workload, telemetry=telemetry,
     )
     best: Optional[SweepPoint] = None
     for point in points:
@@ -282,6 +307,7 @@ def conclusions_summary(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     workload: WorkloadLike = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, Optional[int]]:
     """The paper's Section V summary as data: minimum channels per
     level at 400 MHz."""
@@ -295,6 +321,7 @@ def conclusions_summary(
             workers=workers,
             backend=backend,
             workload=workload,
+            telemetry=telemetry,
         )
         for level in PAPER_LEVELS
     }

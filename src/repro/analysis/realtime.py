@@ -20,11 +20,27 @@ from __future__ import annotations
 
 import enum
 import math
+import sys
 
 from repro.errors import ConfigurationError
 
 #: The paper's data-processing margin: 15 % of the frame period.
 PAPER_MARGIN = 0.15
+
+#: Relative width of the boundary snap: an access time within a few
+#: ulps of a verdict threshold classifies as exactly *at* it.  Backends
+#: that agree to within float rounding noise (the fast/batch engines
+#: reassociate sums the reference engine accumulates serially) must
+#: agree on the verdict too -- without the snap, an access time one ulp
+#: past the frame period flips feasible into FAIL.
+BOUNDARY_REL_TOL = 4.0 * sys.float_info.epsilon
+
+
+def _beyond(value: float, threshold: float) -> bool:
+    """Strictly past ``threshold``, outside the boundary snap."""
+    return value > threshold and not math.isclose(
+        value, threshold, rel_tol=BOUNDARY_REL_TOL
+    )
 
 
 class RealTimeVerdict(enum.Enum):
@@ -78,8 +94,13 @@ def realtime_verdict(
         )
     if not 0.0 <= margin < 1.0:
         raise ConfigurationError(f"margin must be in [0, 1), got {margin}")
-    if access_time_ms > frame_period_ms:
+    # Boundary classification uses the snapped comparison: an access
+    # time exactly at (or within BOUNDARY_REL_TOL of) a threshold gets
+    # the verdict of the threshold's feasible side, deterministically,
+    # on every backend.  In particular ``access == frame_period`` is
+    # always feasible, and with ``margin=0`` it is a PASS.
+    if _beyond(access_time_ms, frame_period_ms):
         return RealTimeVerdict.FAIL
-    if access_time_ms > frame_period_ms * (1.0 - margin):
+    if _beyond(access_time_ms, frame_period_ms * (1.0 - margin)):
         return RealTimeVerdict.MARGINAL
     return RealTimeVerdict.PASS

@@ -207,6 +207,36 @@ def _job_description(job: SweepJob) -> Dict[str, object]:
     of the same name with different structure).
     """
     index, level, config, scale, chunk_budget, block_bytes, workload = job
+    return point_description(
+        level,
+        config,
+        scale=scale,
+        chunk_budget=chunk_budget,
+        block_bytes=block_bytes,
+        workload=workload,
+    )
+
+
+def point_description(
+    level: H264Level,
+    config: SystemConfig,
+    scale: Optional[float] = None,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    workload: WorkloadLike = None,
+) -> Dict[str, object]:
+    """Canonical-key material of one sweep point (see
+    :func:`_job_description` for the field-by-field rationale).
+
+    Public so other layers -- the feasibility oracle probing the
+    result cache, external tooling addressing entries -- can construct
+    the *identical* description a sweep would, without fabricating a
+    :data:`SweepJob`."""
+    bound = (
+        workload
+        if isinstance(workload, BoundWorkload)
+        else resolve_workload(workload)
+    )
     return {
         "kind": "sweep-point",
         "level": level,
@@ -215,8 +245,31 @@ def _job_description(job: SweepJob) -> Dict[str, object]:
         "scale": scale,
         "chunk_budget": chunk_budget,
         "block_bytes": block_bytes,
-        "workload": workload.identity(),
+        "workload": bound.identity(),
     }
+
+
+def point_key(
+    level: H264Level,
+    config: SystemConfig,
+    scale: Optional[float] = None,
+    chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    workload: WorkloadLike = None,
+) -> str:
+    """Canonical content key of one sweep point -- exactly the key
+    :func:`sweep_use_case` files the point under in the result cache
+    and checkpoint stores."""
+    return SweepCheckpoint.key_for(
+        point_description(
+            level,
+            config,
+            scale=scale,
+            chunk_budget=chunk_budget,
+            block_bytes=block_bytes,
+            workload=workload,
+        )
+    )
 
 
 def job_keys(jobs: Sequence[SweepJob]) -> List[str]:

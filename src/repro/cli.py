@@ -15,6 +15,8 @@ Usage::
     repro-sim fuzz [--cases 100 --seed 0]
     repro-sim chaos [--seeds 1,5,17]
     repro-sim sweep [--levels 3.1,4 --channels 1,2,4,8 --freqs 200,400]
+    repro-sim query [--level 4 --channels 4 --freq 400] [--json]
+    repro-sim query --batch < queries.jsonl
     repro-sim workloads
     repro-sim all
 
@@ -80,6 +82,21 @@ Fault tolerance (see :mod:`repro.resilience`):
   randomized crash/stall/torn-write injection, asserting the final
   report is bit-identical to an undisturbed run; exits non-zero on
   divergence and prints the failing seed for reproduction.
+
+Feasibility oracle (see :mod:`repro.oracle`):
+
+- ``query`` asks the feasibility oracle one question -- will
+  (``--channels``, ``--freq``) sustain ``--level`` in real time, at
+  what power -- and answers from the cheapest adequate tier:
+  surrogate interpolation over the exact points already in
+  ``--cache-dir`` / ``--checkpoint`` (microseconds), the analytic
+  backend, or an exact simulation when ``--accuracy`` demands it.
+  Every answer names its tier and error bound.  ``--json`` emits the
+  answer as sorted-key JSON; ``--batch`` reads one JSON query object
+  per stdin line and writes one JSON answer per line
+  (deterministically, so output is byte-stable across runs).  With
+  ``query`` a ``--checkpoint`` file is a read-only harvest source and
+  is never truncated.
 
 Observability (see :mod:`repro.telemetry`):
 
@@ -497,6 +514,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="work units in flight concurrently (default: 4)",
     )
 
+    p_q = sub.add_parser(
+        "query",
+        help=(
+            "ask the feasibility oracle: will (channels, freq) sustain "
+            "a level in real time, and at what power?"
+        ),
+    )
+    p_q.add_argument("--level", type=str, default="4", help="H.264 level name")
+    p_q.add_argument("--channels", type=int, default=4, help="channel count")
+    p_q.add_argument("--freq", type=float, default=400.0, help="clock, MHz")
+    p_q.add_argument(
+        "--accuracy",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "relative access-time error budget (default: 0.15, the "
+            "analytic tolerance; 0 demands an exact simulation)"
+        ),
+    )
+    p_q.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the answer as sorted-key JSON instead of prose",
+    )
+    p_q.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "read one JSON query object per stdin line "
+            '({"level": ..., "channels": ..., "freq_mhz": ..., '
+            '"accuracy"?, "workload"?}) and write one JSON answer per '
+            "line; byte-stable across runs"
+        ),
+    )
+
     sub.add_parser(
         "workloads",
         help="list every registered workload spec (parameters, stages)",
@@ -599,7 +653,10 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         kwargs["workload"] = bound_workload
     workload_kw = {} if bound_workload is None else {"workload": bound_workload}
     if args.checkpoint is not None:
-        if not args.resume:
+        # ``query`` only ever *reads* a checkpoint (as a surrogate
+        # harvest source); truncating it would destroy the very points
+        # the oracle is asked to serve.
+        if not args.resume and args.command != "query":
             SweepCheckpoint(args.checkpoint).clear()
         kwargs["checkpoint"] = args.checkpoint
         if args.force:
@@ -637,6 +694,7 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
     }
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
+        explore_kwargs["telemetry"] = telemetry
     if args.progress:
         kwargs["progress"] = StreamProgressSink()
     csv_dir = _csv_dir(args)
@@ -904,6 +962,48 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         sections.append(report.summary())
         if report.failures:
             sections.append(report.format_failures())
+    if command == "query":
+        import json as _json
+
+        from repro.oracle import DEFAULT_ACCURACY, FeasibilityOracle, run_batch
+
+        oracle_kwargs = {}
+        if args.scale is not None:
+            oracle_kwargs["scale"] = args.scale
+        if args.budget is not None:
+            oracle_kwargs["chunk_budget"] = args.budget
+        if args.backend is not None:
+            oracle_kwargs["exact_backend"] = args.backend
+        oracle = FeasibilityOracle(
+            cache=cache_store,
+            checkpoints=(
+                (args.checkpoint,) if args.checkpoint is not None else ()
+            ),
+            telemetry=telemetry,
+            **oracle_kwargs,
+        )
+        accuracy = (
+            args.accuracy if args.accuracy is not None else DEFAULT_ACCURACY
+        )
+        if args.batch:
+            sections.append("\n".join(run_batch(oracle, sys.stdin)))
+        else:
+            answer = oracle.query(
+                args.level,
+                args.channels,
+                args.freq,
+                accuracy=accuracy,
+                workload=bound_workload,
+            )
+            if args.as_json:
+                sections.append(_json.dumps(answer.to_json(), sort_keys=True))
+            else:
+                sections.append("== Feasibility query ==")
+                sections.append(answer.describe())
+                sections.append(
+                    f"answered in {answer.latency_s * 1e3:.3f} ms "
+                    f"({answer.escalations} escalation(s))"
+                )
     if command == "workloads":
         from repro.workloads.registry import (
             available_workloads,
@@ -933,11 +1033,19 @@ def _run_command(args: argparse.Namespace) -> Tuple[List[str], int]:
         sections.append(_format_metrics_summary(telemetry))
     if cache_store is not None:
         stats = cache_store.stats()
-        sections.append(
-            f"cache {args.cache_dir}: {stats['hits']} hit(s), "
-            f"{stats['misses']} miss(es), {stats['writes']} write(s), "
-            f"{stats['corrupt']} corrupt, {stats['evictions']} evicted"
+        # Machine-readable query output must stay pure (and byte-stable
+        # across a computing run and a cache-served re-run), so the
+        # stats trailer is prose-mode only; the strict corruption exit
+        # code below still applies either way.
+        machine_output = command == "query" and (
+            getattr(args, "as_json", False) or getattr(args, "batch", False)
         )
+        if not machine_output:
+            sections.append(
+                f"cache {args.cache_dir}: {stats['hits']} hit(s), "
+                f"{stats['misses']} miss(es), {stats['writes']} write(s), "
+                f"{stats['corrupt']} corrupt, {stats['evictions']} evicted"
+            )
         if stats["corrupt"] and args.strict:
             # The damaged entries were already recomputed (the artifact
             # above is correct); the non-zero exit flags the store so
@@ -980,9 +1088,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         validate_workload_name(args.workload)
     sections, exit_code = _run_command(args)
+    # Machine-readable query output (--json / --batch) is emitted
+    # verbatim -- one JSON document per line, no blank separators --
+    # so it can be piped, compared byte for byte, or fed to jq.
+    machine_output = getattr(args, "as_json", False) or getattr(args, "batch", False)
     for section in sections:
         print(section)
-        print()
+        if not machine_output:
+            print()
     return exit_code
 
 

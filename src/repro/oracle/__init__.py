@@ -1,0 +1,43 @@
+"""Feasibility oracle: microsecond queries with a cost-based planner.
+
+See :mod:`repro.oracle.api` for the query layer,
+:mod:`repro.oracle.planner` for the escalation policy and
+:mod:`repro.oracle.surrogate` for the interpolation surfaces.
+"""
+
+from repro.oracle.api import (
+    DEFAULT_ACCURACY,
+    EXACT_BACKENDS,
+    FeasibilityOracle,
+    OracleAnswer,
+    run_batch,
+)
+from repro.oracle.planner import (
+    TIER_ANALYTIC,
+    TIER_EXACT,
+    TIER_SURROGATE,
+    TIERS,
+    CostPlanner,
+    QueryPlan,
+    feasibility_limit_ms,
+    screen_survivors,
+)
+from repro.oracle.surrogate import SurrogateEstimate, SurrogateSurface
+
+__all__ = [
+    "DEFAULT_ACCURACY",
+    "EXACT_BACKENDS",
+    "FeasibilityOracle",
+    "OracleAnswer",
+    "run_batch",
+    "TIER_ANALYTIC",
+    "TIER_EXACT",
+    "TIER_SURROGATE",
+    "TIERS",
+    "CostPlanner",
+    "QueryPlan",
+    "feasibility_limit_ms",
+    "screen_survivors",
+    "SurrogateEstimate",
+    "SurrogateSurface",
+]

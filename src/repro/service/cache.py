@@ -283,7 +283,17 @@ class ResultCache:
             self._evict_over(self.max_entries)
 
     def _evict_over(self, bound: int) -> None:
-        """Drop least-recently-written entries past ``bound``."""
+        """Drop least-recently-written entries past ``bound``.
+
+        Victims are ordered by nanosecond write time with the entry
+        name (the content key) as tie-break: filesystem timestamps can
+        be coarse -- whole seconds on some filesystems -- and a grid
+        whose writes land within one clock tick must still evict the
+        same entries on every run, on every machine.  The float
+        ``st_mtime`` would additionally round distinct nanosecond
+        stamps together; ``st_mtime_ns`` keeps the primary order
+        exact.
+        """
         try:
             entries = [
                 self.directory / name
@@ -294,12 +304,12 @@ class ResultCache:
             return
         if len(entries) <= bound:
             return
-        def mtime(path: Path) -> float:
+        def mtime_ns(path: Path) -> int:
             try:
-                return path.stat().st_mtime
+                return path.stat().st_mtime_ns
             except OSError:
-                return 0.0
-        entries.sort(key=lambda path: (mtime(path), path.name))
+                return 0
+        entries.sort(key=lambda path: (mtime_ns(path), path.name))
         for path in entries[: len(entries) - bound]:
             try:
                 os.unlink(path)

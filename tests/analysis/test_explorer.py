@@ -135,3 +135,65 @@ class TestEnergyStrategies:
         text = cmp.summary()
         assert "race-to-idle" in text
         assert "just-in-time" in text
+
+
+class TestPrescreen:
+    """Two-phase exploration delegates to the oracle screening policy."""
+
+    @pytest.mark.parametrize("slack", [-0.25, float("nan"), float("inf")])
+    def test_bad_slack_refused(self, slack):
+        with pytest.raises(ConfigurationError, match="slack"):
+            find_minimum_power_configuration(
+                level_by_name("3.1"),
+                channel_counts=(1, 2),
+                frequencies_mhz=(266.0, 400.0),
+                chunk_budget=BUDGET,
+                prescreen_backend="analytic",
+                prescreen_slack=slack,
+            )
+
+    def test_prescreen_matches_exhaustive_answer(self):
+        from repro.telemetry.session import Telemetry
+
+        telemetry = Telemetry.enabled()
+        level = level_by_name("3.1")
+        grid = dict(
+            channel_counts=(1, 2, 4),
+            frequencies_mhz=(200.0, 333.0, 466.0),
+            chunk_budget=BUDGET,
+        )
+        screened = find_minimum_power_configuration(
+            level,
+            prescreen_backend="analytic",
+            telemetry=telemetry,
+            **grid,
+        )
+        exhaustive = find_minimum_power_configuration(level, **grid)
+        assert screened is not None
+        assert screened.config == exhaustive.config
+        assert screened.total_power_mw == exhaustive.total_power_mw
+        registry = telemetry.registry
+        assert registry.counter("explorer.prescreen_points").value == 9
+        assert 0 < registry.counter("explorer.prescreen_survivors").value <= 9
+        assert registry.counter("explorer.prescreen_empty").value == 0
+
+    def test_empty_screen_falls_back_to_full_grid(self):
+        from repro.telemetry.session import Telemetry
+
+        telemetry = Telemetry.enabled()
+        # One channel at the slowest clock cannot sustain 2160p30; the
+        # screen eliminates everything and the explorer must fall back
+        # to the unscreened grid (counting the event) rather than
+        # wrongly conclude infeasibility from the cheap backend alone.
+        result = find_minimum_power_configuration(
+            level_by_name("5.2"),
+            channel_counts=(1,),
+            frequencies_mhz=(200.0,),
+            chunk_budget=BUDGET,
+            prescreen_backend="analytic",
+            telemetry=telemetry,
+        )
+        assert result is None  # genuinely infeasible, decided by the real backend
+        registry = telemetry.registry
+        assert registry.counter("explorer.prescreen_empty").value == 1
+        assert registry.counter("explorer.prescreen_survivors").value == 0

@@ -67,3 +67,52 @@ class TestValidation:
     def test_rejects_non_finite_period(self, period):
         with pytest.raises(ConfigurationError, match="finite"):
             realtime_verdict(20.0, period)
+
+
+class TestFeasibilityBoundary:
+    """The feasibility boundary must classify deterministically.
+
+    Backends that agree to within float rounding noise (the fast/batch
+    engines reassociate sums the reference engine accumulates
+    serially) must agree on the verdict: an access time exactly at the
+    frame period -- or one ulp either side of it -- is always
+    feasible, on every backend, deterministically.
+    """
+
+    PERIODS = [33.333, 1000.0 / 30.0, 16.683, 100.0]
+
+    @pytest.mark.parametrize("period", PERIODS)
+    def test_access_equal_to_period_is_feasible(self, period):
+        assert realtime_verdict(period, period).feasible
+
+    @pytest.mark.parametrize("period", PERIODS)
+    def test_one_ulp_around_period_is_deterministically_feasible(self, period):
+        import math
+
+        below = math.nextafter(period, 0.0)
+        above = math.nextafter(period, math.inf)
+        verdicts = {
+            realtime_verdict(access, period)
+            for access in (below, period, above)
+        }
+        # One verdict for all three: sub-ulp noise cannot flip it.
+        assert len(verdicts) == 1
+        assert verdicts.pop().feasible
+
+    @pytest.mark.parametrize("period", PERIODS)
+    def test_equality_is_a_pass_without_margin(self, period):
+        # The raw real-time requirement is "access <= period": with no
+        # processing margin demanded, meeting it exactly is a PASS --
+        # and so is meeting it to within one ulp.
+        import math
+
+        assert realtime_verdict(period, period, margin=0.0) is RealTimeVerdict.PASS
+        assert (
+            realtime_verdict(math.nextafter(period, math.inf), period, margin=0.0)
+            is RealTimeVerdict.PASS
+        )
+
+    def test_snap_is_narrow(self):
+        # The snap absorbs rounding noise, not real misses: 1 part in
+        # a million over the period is still a clean FAIL.
+        assert realtime_verdict(33.333 * (1.0 + 1e-6), 33.333) is RealTimeVerdict.FAIL

@@ -1,0 +1,1 @@
+"""Tests for the feasibility oracle (:mod:`repro.oracle`)."""

@@ -1,0 +1,208 @@
+"""End-to-end tests for :class:`repro.oracle.api.FeasibilityOracle`."""
+
+import pytest
+
+from repro.analysis.sweep import sweep_use_case
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.oracle import FeasibilityOracle
+from repro.regression.fuzzer import _diff_exact
+from repro.service.cache import ResultCache
+from repro.telemetry import Telemetry
+from repro.usecase.levels import level_by_name
+
+LEVEL = level_by_name("3.1")
+SCALE = 1 / 256
+GRID_FREQS = (200.0, 266.0, 333.0, 400.0)
+
+
+def _warm_cache(directory, channels=(1, 2), backend="fast", workload=None):
+    cache = ResultCache(directory)
+    configs = [
+        SystemConfig(channels=m, freq_mhz=f)
+        for m in channels
+        for f in GRID_FREQS
+    ]
+    sweep_use_case(
+        [LEVEL], configs, scale=SCALE, cache=cache, backend=backend,
+        workload=workload,
+    )
+    return cache
+
+
+@pytest.fixture
+def warm_oracle(tmp_path):
+    cache = _warm_cache(tmp_path / "cache")
+    return FeasibilityOracle(cache=cache, scale=SCALE)
+
+
+class TestHarvest:
+    def test_warm_counts_grid_points(self, warm_oracle):
+        assert warm_oracle.warm(LEVEL) == 2 * len(GRID_FREQS)
+
+    def test_cold_store_harvests_nothing(self, tmp_path):
+        oracle = FeasibilityOracle(cache=tmp_path / "empty", scale=SCALE)
+        assert oracle.warm(LEVEL) == 0
+
+    def test_mismatched_scale_harvests_nothing(self, tmp_path):
+        # scale is part of the canonical key: points computed under a
+        # different simulation context must not seed the surface.
+        cache = _warm_cache(tmp_path / "cache")
+        oracle = FeasibilityOracle(cache=cache, scale=SCALE / 2)
+        assert oracle.warm(LEVEL) == 0
+
+    def test_workload_keying_separates_surfaces(self, tmp_path):
+        # A cache warmed only under vvc_encoder must not answer
+        # default-workload queries (canonical keys carry workload
+        # identity), and vice versa the vvc surface must be warm.
+        cache = _warm_cache(tmp_path / "cache", workload="vvc_encoder")
+        oracle = FeasibilityOracle(cache=cache, scale=SCALE)
+        assert oracle.warm(LEVEL) == 0
+        assert oracle.warm(LEVEL, workload="vvc_encoder") == 2 * len(GRID_FREQS)
+
+    def test_checkpoint_is_a_harvest_source(self, tmp_path):
+        checkpoint = tmp_path / "sweep.ckpt"
+        sweep_use_case(
+            [LEVEL],
+            [SystemConfig(channels=2, freq_mhz=f) for f in GRID_FREQS],
+            scale=SCALE,
+            checkpoint=checkpoint,
+            backend="fast",
+        )
+        oracle = FeasibilityOracle(checkpoints=[checkpoint], scale=SCALE)
+        assert oracle.warm(LEVEL) == len(GRID_FREQS)
+
+
+class TestQueryTiers:
+    def test_grid_hit_answers_exact_from_surface(self, warm_oracle):
+        answer = warm_oracle.query(LEVEL, 2, 266.0)
+        assert answer.tier == "exact"
+        assert answer.error_bound == 0.0
+        assert answer.access_low_ms == answer.access_time_ms == answer.access_high_ms
+        assert answer.verdict_certain
+        assert answer.escalations == 0
+        assert answer.latency_s >= 0.0
+
+    def test_exact_tier_is_bit_identical_to_sweep(self, warm_oracle):
+        answer = warm_oracle.query(LEVEL, 2, 266.0, accuracy=0.0)
+        fresh = sweep_use_case(
+            [LEVEL],
+            [SystemConfig(channels=2, freq_mhz=266.0)],
+            scale=SCALE,
+            backend="fast",
+        )[0]
+        assert _diff_exact(answer.point.result, fresh.result) == []
+        assert answer.access_time_ms == fresh.access_time_ms
+        assert answer.total_power_mw == fresh.total_power_mw
+        assert answer.verdict is fresh.verdict
+
+    def test_offgrid_interpolates_on_surrogate_tier(self, warm_oracle):
+        answer = warm_oracle.query(LEVEL, 2, 300.0, accuracy=0.5)
+        assert answer.tier == "surrogate"
+        assert answer.point is None
+        # Never masquerades as exact: positive bound, real interval.
+        assert answer.error_bound > 0.0
+        assert answer.access_low_ms < answer.access_high_ms
+        assert (
+            answer.access_low_ms <= answer.access_time_ms <= answer.access_high_ms
+        )
+
+    def test_surrogate_interval_brackets_the_truth(self, warm_oracle):
+        answer = warm_oracle.query(LEVEL, 2, 300.0, accuracy=0.5)
+        truth = sweep_use_case(
+            [LEVEL],
+            [SystemConfig(channels=2, freq_mhz=300.0)],
+            scale=SCALE,
+            backend="fast",
+        )[0]
+        assert answer.access_low_ms <= truth.access_time_ms <= answer.access_high_ms
+
+    def test_tight_accuracy_escalates_past_surrogate(self, warm_oracle):
+        answer = warm_oracle.query(LEVEL, 2, 300.0, accuracy=0.001)
+        assert answer.tier == "exact"
+        assert answer.error_bound == 0.0
+        assert answer.escalations == 2
+
+    def test_cold_cache_screens_on_analytic(self, tmp_path):
+        oracle = FeasibilityOracle(cache=tmp_path / "cache", scale=SCALE)
+        answer = oracle.query(LEVEL, 4, 300.0, accuracy=0.5)
+        assert answer.tier == "analytic"
+        assert answer.error_bound == pytest.approx(0.15)
+        assert answer.escalations == 0
+        assert answer.access_low_ms < answer.access_time_ms < answer.access_high_ms
+
+    def test_cold_cache_degrades_analytic_then_exact(self, tmp_path):
+        oracle = FeasibilityOracle(cache=tmp_path / "cache", scale=SCALE)
+        screening = oracle.query(LEVEL, 2, 300.0, accuracy=0.5)
+        exact = oracle.query(LEVEL, 2, 300.0, accuracy=0.0)
+        assert screening.tier == "analytic"
+        assert exact.tier == "exact"
+        # The analytic estimate is within its tolerance of the truth.
+        assert screening.access_low_ms <= exact.access_time_ms
+        assert exact.access_time_ms <= screening.access_high_ms
+
+    def test_exact_answers_fold_back_into_cache_and_surface(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        oracle = FeasibilityOracle(cache=cache_dir, scale=SCALE)
+        first = oracle.query(LEVEL, 2, 400.0, accuracy=0.0)
+        assert first.escalations == 1  # no surface data -> analytic rejected
+        # Same oracle: the computed point now sits on the surface.
+        second = oracle.query(LEVEL, 2, 400.0, accuracy=0.0)
+        assert second.escalations == 0
+        assert second.access_time_ms == first.access_time_ms
+        # Fresh oracle over the same cache: harvested from disk.
+        rebuilt = FeasibilityOracle(cache=cache_dir, scale=SCALE)
+        assert rebuilt.warm(LEVEL) == 1
+        third = rebuilt.query(LEVEL, 2, 400.0, accuracy=0.0)
+        assert third.tier == "exact"
+        assert third.access_time_ms == first.access_time_ms
+
+
+class TestValidation:
+    @pytest.mark.parametrize("accuracy", [-0.1, float("nan"), float("inf")])
+    def test_bad_accuracy_refused(self, warm_oracle, accuracy):
+        with pytest.raises(ConfigurationError):
+            warm_oracle.query(LEVEL, 2, 300.0, accuracy=accuracy)
+
+    def test_bad_channels_refused(self, warm_oracle):
+        with pytest.raises(ConfigurationError):
+            warm_oracle.query(LEVEL, 3, 300.0)
+
+    def test_bad_frequency_refused(self, warm_oracle):
+        with pytest.raises(ConfigurationError):
+            warm_oracle.query(LEVEL, 2, 50.0)
+
+    def test_level_resolved_by_name(self, warm_oracle):
+        assert warm_oracle.query("3.1", 2, 300.0).level == "3.1"
+
+
+class TestTelemetry:
+    def test_counters_and_latency(self, tmp_path):
+        cache = _warm_cache(tmp_path / "cache")
+        telemetry = Telemetry.enabled()
+        oracle = FeasibilityOracle(
+            cache=cache, scale=SCALE, telemetry=telemetry
+        )
+        oracle.query(LEVEL, 2, 300.0, accuracy=0.5)   # surrogate
+        oracle.query(LEVEL, 2, 266.0)                 # exact (surface)
+        oracle.query(LEVEL, 4, 300.0, accuracy=0.5)   # analytic (no 4ch data)
+        registry = telemetry.registry
+        assert registry.counter("oracle.queries").value == 3
+        assert registry.counter("oracle.tier_hits.surrogate").value == 1
+        assert registry.counter("oracle.tier_hits.exact").value == 1
+        assert registry.counter("oracle.tier_hits.analytic").value == 1
+        assert registry.histogram("oracle.latency_seconds").count == 3
+
+    def test_counters_pre_registered_at_zero(self):
+        telemetry = Telemetry.enabled()
+        FeasibilityOracle(telemetry=telemetry)
+        assert telemetry.registry.counter("oracle.queries").value == 0
+        assert telemetry.registry.counter("oracle.escalations").value == 0
+
+    def test_escalations_counted(self, tmp_path):
+        telemetry = Telemetry.enabled()
+        oracle = FeasibilityOracle(
+            cache=tmp_path / "cache", scale=SCALE, telemetry=telemetry
+        )
+        oracle.query(LEVEL, 2, 300.0, accuracy=0.0)  # analytic rejected
+        assert telemetry.registry.counter("oracle.escalations").value == 1

@@ -153,6 +153,26 @@ class TestEviction:
         with pytest.raises(ValueError):
             ResultCache(tmp_path, max_entries=0)
 
+    def test_same_tick_ties_evict_deterministically(self, tmp_path):
+        # A grid written within one filesystem clock tick: every entry
+        # carries the *identical* mtime, so the write-time order is all
+        # ties.  Eviction must still pick the same victims on every run
+        # -- the entry name (the content key) breaks ties -- and must
+        # not depend on insertion or directory-listing order.
+        keys = [ch * 64 for ch in "fbdace"]
+        expected_survivors = sorted(keys)[3:]
+        tick_ns = 1_700_000_000_000_000_000
+        for run, order in enumerate((keys, list(reversed(keys)))):
+            store = ResultCache(tmp_path / f"cache{run}")
+            for index, key in enumerate(order):
+                store.put(key, index)
+            for key in order:
+                os.utime(store.entry_path(key), ns=(tick_ns, tick_ns))
+            store._evict_over(3)
+            assert store.stats()["evictions"] == 3
+            kept = sorted(key for key in keys if store.contains(key))
+            assert kept == expected_survivors
+
 
 class TestSweepIntegration:
     LEVELS = [level_by_name("3.1")]
